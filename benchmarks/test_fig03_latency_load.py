@@ -1,0 +1,46 @@
+"""Figure 3: latency vs offered load across unicast routing schemes."""
+
+from repro.experiments import fig03
+
+
+def test_fig03_latency_vs_load(benchmark, run_once):
+    curves = run_once(
+        benchmark, fig03.run,
+        mesh_width=32, loads=(0.02, 0.06, 0.10, 0.16, 0.24),
+        cycles=1200, warmup_cycles=300,
+    )
+    print()
+    loads = [p["load"] for p in next(iter(curves.values()))]
+    print("load    " + "  ".join(f"{n:>13s}" for n in curves))
+    for i, load in enumerate(loads):
+        print(f"{load:<7.3f} " + "  ".join(
+            f"{curves[n][i]['latency']:>13.1f}" for n in curves))
+
+    best = fig03.best_scheme_per_load(curves)
+    by_load = sorted(best)
+
+    def rthres_of(name: str) -> int:
+        if name == "Cluster":
+            return 0
+        if name == "Distance-All":
+            return 999
+        return int(name.split("-")[1])
+
+    # Paper shape 1: at the lowest load a small rthres (Cluster or
+    # Distance-5) is optimal -- the ONet's zero-load latency wins.
+    assert rthres_of(best[by_load[0]]) <= 5
+    # Paper shape 2: the optimal rthres grows with load.
+    ordered = [rthres_of(best[l]) for l in by_load]
+    assert ordered[-1] > ordered[0]
+    assert all(b <= a + 10 for a, b in zip(ordered, ordered[1:])) or (
+        sorted(ordered) == ordered
+    )
+    # Paper shape 3: Distance-All is never optimal.
+    assert "Distance-All" not in best.values()
+    # Paper shape 4: at the highest load, mid-range rthres (the
+    # load-balancing regime, ~25 at full scale) beats both extremes.
+    top = by_load[-1]
+    hi = {n: curves[n][-1]["latency"] for n in curves}
+    best_hi = best[top]
+    assert hi[best_hi] < hi["Cluster"]
+    assert hi[best_hi] < hi["Distance-All"]

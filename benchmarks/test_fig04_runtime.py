@@ -1,0 +1,34 @@
+"""Figure 4: application runtime on ATAC+ vs the electrical baselines."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig04_05_06 import run_fig4
+
+BROADCAST_HEAVY = ("dynamic_graph", "barnes", "fmm")
+
+
+def test_fig04_runtime(benchmark, run_once):
+    rows = run_once(benchmark, run_fig4)
+    print()
+    print(format_table(rows, ["app", "atac+", "emesh-bcast", "emesh-pure",
+                              "emesh-bcast_norm", "emesh-pure_norm"]))
+    by_app = {r["app"]: r for r in rows}
+
+    # Paper shape 1: "In all cases, ATAC+ commands a sizable lead over
+    # both EMesh-Pure and EMesh-BCast" (allowing ties at small scale).
+    for r in rows:
+        assert r["emesh-bcast_norm"] >= 0.99, r["app"]
+        assert r["emesh-pure_norm"] >= 0.99, r["app"]
+
+    # Paper shape 2: EMesh-Pure severely degrades broadcast-heavy apps.
+    for app in BROADCAST_HEAVY:
+        assert by_app[app]["emesh-pure_norm"] > 1.5, app
+
+    # Paper shape 3: EMesh-Pure's penalty on broadcast-heavy apps far
+    # exceeds its penalty on the most private app (lu_contig).
+    worst_bcast = max(by_app[a]["emesh-pure_norm"] for a in BROADCAST_HEAVY)
+    assert worst_bcast > 1.3 * by_app["lu_contig"]["emesh-pure_norm"]
+
+    # Paper shape 4: EMesh-BCast improves on EMesh-Pure for broadcasts
+    # but ATAC+ retains the lead.
+    for app in BROADCAST_HEAVY:
+        assert by_app[app]["emesh-bcast_norm"] < by_app[app]["emesh-pure_norm"]

@@ -1,0 +1,31 @@
+"""Figure 5: unicast vs broadcast traffic measured at the receiver."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig04_05_06 import run_fig5
+
+BROADCAST_HEAVY = ("dynamic_graph", "barnes", "fmm")
+UNICAST_HEAVY = ("ocean_contig", "lu_contig", "ocean_non_contig")
+
+
+def test_fig05_traffic_mix(benchmark, run_once):
+    rows = run_once(benchmark, run_fig5)
+    print()
+    print(format_table(rows, ["app", "unicast_pct", "broadcast_pct"]))
+    pct = {r["app"]: r["broadcast_pct"] for r in rows}
+
+    # Paper shape 1: barnes and fmm are the most broadcast-dominated.
+    top_two = sorted(pct, key=pct.get, reverse=True)[:2]
+    assert set(top_two) == {"barnes", "fmm"}
+
+    # Paper shape 2: every broadcast-heavy app out-broadcasts every
+    # unicast-heavy app at the receiver.
+    assert min(pct[a] for a in BROADCAST_HEAVY) > max(
+        pct[a] for a in UNICAST_HEAVY
+    )
+
+    # Paper shape 3: lu_contig's traffic is almost purely unicast.
+    assert pct["lu_contig"] < 5.0
+
+    # sanity: percentages complement
+    for r in rows:
+        assert abs(r["unicast_pct"] + r["broadcast_pct"] - 100.0) < 0.2

@@ -1,0 +1,26 @@
+"""Figure 6: offered network load (flits/cycle/core) per application."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig04_05_06 import run_fig6
+
+
+def test_fig06_offered_load(benchmark, run_once):
+    rows = run_once(benchmark, run_fig6)
+    print()
+    print(format_table(rows, ["app", "offered_load"]))
+    load = {r["app"]: r["offered_load"] for r in rows}
+
+    # Paper shape 1: ocean_non_contig offers the highest load.
+    assert max(load, key=load.get) == "ocean_non_contig"
+
+    # Paper shape 2: lu_contig is among the lightest.
+    assert load["lu_contig"] in sorted(load.values())[:3]
+
+    # Paper shape 3: the streaming/high-miss apps (radix, ocean_*)
+    # out-load the compute-dense tree codes (barnes, fmm).
+    for heavy in ("radix", "ocean_contig", "ocean_non_contig"):
+        for light in ("barnes", "fmm"):
+            assert load[heavy] > load[light], (heavy, light)
+
+    # sanity: loads are small fractions of a flit/cycle/core.
+    assert all(0.0 < v < 0.3 for v in load.values())

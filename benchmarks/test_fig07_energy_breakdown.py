@@ -1,0 +1,52 @@
+"""Figure 7: energy breakdown across the Table IV technology flavors."""
+
+from repro.experiments.fig07_08_09 import run_fig7
+
+
+def test_fig07_energy_breakdown(benchmark, run_once):
+    fig7 = run_once(benchmark, run_fig7)
+    print()
+    for arch, comp in fig7.items():
+        total = sum(comp.values())
+        wedges = ", ".join(
+            f"{k}={v:.3f}" for k, v in comp.items() if v > 1e-3
+        )
+        print(f"  {arch:18s} total={total:.3f}  {wedges}")
+
+    total = {arch: sum(c.values()) for arch, c in fig7.items()}
+
+    # Paper shape 1: "the Laser is a significant energy consumer should
+    # power-gating be unavailable" -- the Cons laser dwarfs every other
+    # network component and the power-gated laser.
+    from repro.energy.accounting import NETWORK_KEYS
+
+    cons = fig7["ATAC+(Cons)"]
+    assert cons["laser"] == max(cons[k] for k in NETWORK_KEYS)
+    assert cons["laser"] > 20 * fig7["ATAC+"]["laser"]
+
+    # Paper shape 2: ring tuning burdens both tuned-ring flavors.
+    assert fig7["ATAC+(RingTuned)"]["ring_tuning"] > 0.05
+    assert cons["ring_tuning"] > 0.05
+    assert fig7["ATAC+"]["ring_tuning"] == 0.0
+
+    # Paper shape 3: "ATAC+ has about the same energy as ATAC+(Ideal)".
+    assert total["ATAC+"] / total["ATAC+(Ideal)"] < 1.05
+
+    # Paper shape 4: laser is a tiny fraction of gated ATAC+ (~2%).
+    assert fig7["ATAC+"]["laser"] / total["ATAC+"] < 0.05
+
+    # Paper shape 5: with gating + athermal rings, ATAC+ takes the
+    # energy-efficient lead over EMesh-BCast.
+    assert total["ATAC+"] < total["EMesh-BCast"]
+
+    # Paper shape 6: cache energy dominates the efficient configs.
+    cache_keys = ("l1i", "l1d", "l2", "directory")
+    for arch in ("ATAC+", "ATAC+(Ideal)", "EMesh-BCast"):
+        cache = sum(fig7[arch][k] for k in cache_keys)
+        assert cache > 0.55 * total[arch], arch
+
+    # Paper shape 7: flavor ordering Ideal <= ATAC+ < RingTuned < Cons.
+    assert (
+        total["ATAC+(Ideal)"] <= total["ATAC+"]
+        < total["ATAC+(RingTuned)"] < total["ATAC+(Cons)"]
+    )

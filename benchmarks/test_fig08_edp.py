@@ -1,0 +1,30 @@
+"""Figure 8: normalized energy-delay product (the headline result)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig07_08_09 import run_fig8
+
+
+def test_fig08_edp(benchmark, run_once):
+    rows = run_once(benchmark, run_fig8)
+    print()
+    print(format_table(rows, list(rows[0].keys())))
+    avg = rows[-1]
+    assert avg["app"] == "average"
+
+    # Paper headline: EMesh-BCast ~1.8x and EMesh-Pure ~4.8x worse EDP
+    # than ATAC+.  The shape requirement: both meshes are clearly worse
+    # on average, EMesh-Pure much worse than EMesh-BCast.
+    assert avg["EMesh-BCast"] > 1.05
+    assert avg["EMesh-Pure"] > 1.8
+    assert avg["EMesh-Pure"] > 1.5 * avg["EMesh-BCast"]
+
+    # ATAC+ ~= ATAC+(Ideal) in EDP ("almost identical E-D product").
+    assert avg["ATAC+"] < 1.05
+
+    # Cons flavor pays heavily; RingTuned in between.
+    assert avg["ATAC+"] < avg["ATAC+(RingTuned)"] < avg["ATAC+(Cons)"]
+
+    # Per-app: the broadcast-heavy apps drive EMesh-Pure's worst cases.
+    by_app = {r["app"]: r for r in rows[:-1]}
+    worst = max(by_app, key=lambda a: by_app[a]["EMesh-Pure"])
+    assert worst in ("dynamic_graph", "barnes", "fmm", "radix")

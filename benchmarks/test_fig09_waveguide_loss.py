@@ -1,0 +1,33 @@
+"""Figure 9: sensitivity to waveguide loss."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig07_08_09 import crossover_loss, run_fig9
+
+
+def test_fig09_waveguide_loss(benchmark, run_once):
+    rows = run_once(benchmark, run_fig9)
+    print()
+    print(format_table(rows, list(rows[0].keys())))
+    avg = rows[-1]
+    assert avg["app"] == "average"
+    loss_keys = sorted(
+        (k for k in avg if k.startswith("loss")), key=lambda k: float(k[4:])
+    )
+
+    # Paper shape 1: energy grows monotonically with waveguide loss.
+    series = [avg[k] for k in loss_keys]
+    assert series == sorted(series)
+
+    # Paper shape 2: at the Table II baseline (0.2 dB/cm) ATAC+ beats
+    # EMesh-BCast.
+    assert avg["loss0.2"] < 1.0
+
+    # Paper shape 3: "the ATAC+ network can tolerate a loss of up to
+    # 2 dB before its energy consumption exceeds that of EMesh-BCast":
+    # the crossover falls strictly inside the sweep, at or above 2.
+    cross = crossover_loss(avg)
+    assert cross is not None, "no crossover found in the sweep"
+    assert 2.0 <= cross <= 4.0
+
+    # Paper shape 4: by 4 dB the advantage is clearly gone.
+    assert avg["loss4.0"] > 1.1

@@ -1,0 +1,31 @@
+"""Figure 11: runtime sensitivity to network flit width."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig10_11 import photonic_area_by_width, run_fig11
+
+
+def test_fig11_flit_width(benchmark, run_once):
+    rows = run_once(benchmark, run_fig11)
+    print()
+    print(format_table(rows, list(rows[0].keys())))
+    avg = rows[-1]
+    assert avg["app"] == "average"
+
+    # Paper shape 1: performance is poor at 16 bits and improves with
+    # flit width ("the runtime improves by 50% from 16 bits to 64").
+    assert avg["w16"] > 1.25
+    assert avg["w16"] > avg["w32"] > avg["w64"]
+
+    # Paper shape 2: diminishing returns past 64 bits ("by 10% from 64
+    # bits to 256 bits").
+    gain_16_to_64 = avg["w16"] - avg["w64"]
+    gain_64_to_256 = avg["w64"] - avg["w256"]
+    assert gain_64_to_256 < 0.5 * gain_16_to_64
+    assert avg["w256"] <= avg["w64"]
+
+    # Paper shape 3: the area cost that motivates choosing 64 bits --
+    # photonics grow ~linearly to ~160 mm^2 at 256 bits.
+    area = photonic_area_by_width()
+    print("photonic area:", {k: round(v, 1) for k, v in area.items()})
+    assert 3.0 < area[256] / area[64] < 4.5
+    assert 120 < area[256] < 240

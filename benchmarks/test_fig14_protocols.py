@@ -1,0 +1,39 @@
+"""Figure 14: ACKwise_4 vs Dir_4B on ATAC+ and EMesh-BCast (EDP)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig14_15_16 import run_fig14
+
+BROADCAST_HEAVY = ("barnes", "fmm")
+
+
+def test_fig14_protocols(benchmark, run_once):
+    rows = run_once(benchmark, run_fig14)
+    print()
+    print(format_table(rows, list(rows[0].keys())))
+    by_app = {r["app"]: r for r in rows}
+
+    for app, r in by_app.items():
+        # Paper shape 1: ATAC+/ACKwise4 is the reference and the best
+        # (or tied-best) configuration for every app.
+        others = [v for k, v in r.items() if k != "app"]
+        assert min(others) >= 0.98, app
+
+    # Paper shape 2: Dir_kB degrades broadcast-heavy apps ("the DirkB
+    # protocol suffers performance degradation" for barnes/fmm/radix).
+    for app in BROADCAST_HEAVY:
+        r = by_app[app]
+        assert r["ATAC+/Dir4B"] > r["ATAC+/ACKwise4"], app
+        assert r["EMesh-BCast/Dir4B"] > r["EMesh-BCast/ACKwise4"], app
+
+    # Paper shape 3: "The performance degradation is felt to a greater
+    # extent on the EMesh-BCast network" -- on average over the
+    # broadcast-heavy apps.
+    atac_penalty = sum(
+        by_app[a]["ATAC+/Dir4B"] / by_app[a]["ATAC+/ACKwise4"]
+        for a in BROADCAST_HEAVY
+    )
+    mesh_penalty = sum(
+        by_app[a]["EMesh-BCast/Dir4B"] / by_app[a]["EMesh-BCast/ACKwise4"]
+        for a in BROADCAST_HEAVY
+    )
+    assert mesh_penalty > 0.9 * atac_penalty

@@ -1,0 +1,33 @@
+"""Figure 15: completion time vs ACKwise hardware sharer count."""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig14_15_16 import SHARER_SWEEP, run_fig15
+
+
+def test_fig15_sharers_delay(benchmark, run_once):
+    rows = run_once(benchmark, run_fig15)
+    print()
+    print(format_table(rows, list(rows[0].keys())))
+
+    # Paper shape 1: "there is little runtime variation from 4 to 1024
+    # sharers" -- bounded spread for every app.
+    for r in rows:
+        vals = [r[f"k{k}"] for k in SHARER_SWEEP]
+        assert max(vals) - min(vals) < 0.35, r["app"]
+
+    # Paper shape 2: "Runtime is also found to not increase or decrease
+    # monotonically with the number of sharers" -- at least one app
+    # must be non-monotonic across the sweep.
+    def monotonic(vals):
+        return vals == sorted(vals) or vals == sorted(vals, reverse=True)
+
+    non_monotonic = sum(
+        0 if monotonic([r[f"k{k}"] for k in SHARER_SWEEP]) else 1
+        for r in rows
+    )
+    assert non_monotonic >= 1
+
+    # Paper shape 3: ACKwise_4 performs like the full-map (k=1024)
+    # within a few percent on average.
+    avg_full = sum(r["k1024"] for r in rows) / len(rows)
+    assert 0.8 < avg_full < 1.25

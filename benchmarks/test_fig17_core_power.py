@@ -1,0 +1,47 @@
+"""Figure 17: chip energy with the first-order core model."""
+
+from repro.experiments.fig17_table5 import run_fig17
+
+
+def test_fig17_core_power(benchmark, run_once):
+    rows = run_once(benchmark, run_fig17)
+    print()
+    for r in rows:
+        print(
+            f"  {r['app']:18s} {r['network']:12s} ndd={r['ndd_frac']:.2f} "
+            f"core_ndd={r['core_ndd_j']:.3e} core_dd={r['core_dd_j']:.3e} "
+            f"cache={r['cache_j']:.3e} net={r['network_j']:.3e}"
+        )
+
+    def pick(app, net, ndd):
+        [row] = [
+            r for r in rows
+            if r["app"] == app and r["network"] == net and r["ndd_frac"] == ndd
+        ]
+        return row
+
+    apps = sorted({r["app"] for r in rows})
+    for app in apps:
+        a10 = pick(app, "ATAC+", 0.10)
+        m10 = pick(app, "EMesh-BCast", 0.10)
+        a40 = pick(app, "ATAC+", 0.40)
+        m40 = pick(app, "EMesh-BCast", 0.40)
+
+        # Paper shape 1: "core NDD energy for EMesh-BCast is larger than
+        # that of ATAC+ as a result of the performance difference".
+        assert m10["core_ndd_j"] >= a10["core_ndd_j"] * 0.999, app
+
+        # Paper shape 2: "Core data-dependent energies ... are roughly
+        # identical between architectures".
+        assert m10["core_dd_j"] / a10["core_dd_j"] < 1.02, app
+
+        # Paper shape 3: at 40% NDD the core's share grows.
+        assert (
+            a40["core_ndd_j"] / a40["total_j"]
+            > a10["core_ndd_j"] / a10["total_j"]
+        ), app
+
+        # Paper shape 4: "In all cases, the cache and network are
+        # dwarfed by the core" (at the 40% NDD point).
+        core40 = a40["core_ndd_j"] + a40["core_dd_j"]
+        assert core40 > a40["cache_j"] + a40["network_j"], app

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure/table into ``results/`` as text files.
+
+This is the one-shot "reproduce the paper" driver: it runs each
+experiment at the configured scale (environment variables
+``REPRO_MESH_WIDTH`` / ``REPRO_SCALE``; 32 / 1.0 = the paper's full
+1024-core configuration) and renders tables plus ASCII charts into
+``results/figNN.txt``.
+
+Run:  python examples/full_paper_run.py [results_dir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fig03,
+    fig04_05_06,
+    fig07_08_09,
+    fig10_11,
+    fig12_13,
+    fig14_15_16,
+    fig17_table5,
+)
+from repro.experiments.common import DEFAULT_MESH_WIDTH, DEFAULT_SCALE, format_table
+from repro.experiments.report import bar_chart, curve_chart, stacked_bar_chart
+
+
+def write(outdir: Path, name: str, text: str) -> None:
+    path = outdir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"  wrote {path}")
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    outdir.mkdir(exist_ok=True)
+    print(
+        f"Regenerating all figures at mesh width {DEFAULT_MESH_WIDTH}, "
+        f"trace scale {DEFAULT_SCALE} (set REPRO_MESH_WIDTH/REPRO_SCALE "
+        "to change)\n"
+    )
+
+    t0 = time.time()
+    print("Figure 3 ...")
+    curves = fig03.run(mesh_width=min(32, DEFAULT_MESH_WIDTH * 2))
+    series = {
+        name: [(p["load"], p["latency"]) for p in pts]
+        for name, pts in curves.items()
+    }
+    write(outdir, "fig03", curve_chart(
+        series, title="Figure 3: latency vs offered load", y_cap=400.0,
+    ) + "\n\nbest scheme per load: " + str(fig03.best_scheme_per_load(curves)))
+
+    print("Figures 4-6 ...")
+    rows4 = fig04_05_06.run_fig4()
+    write(outdir, "fig04", format_table(
+        rows4, ["app", "atac+", "emesh-bcast", "emesh-pure",
+                "emesh-bcast_norm", "emesh-pure_norm"],
+    ) + "\n\n" + bar_chart(
+        {r["app"]: r["emesh-pure_norm"] for r in rows4},
+        title="EMesh-Pure runtime relative to ATAC+",
+    ))
+    rows5 = fig04_05_06.run_fig5()
+    write(outdir, "fig05", format_table(
+        rows5, ["app", "unicast_pct", "broadcast_pct"],
+    ) + "\n\n" + bar_chart(
+        {r["app"]: r["broadcast_pct"] for r in rows5},
+        title="broadcast % of receiver traffic", fmt="{:.1f}",
+    ))
+    rows6 = fig04_05_06.run_fig6()
+    write(outdir, "fig06", format_table(rows6, ["app", "offered_load"])
+          + "\n\n" + bar_chart(
+              {r["app"]: r["offered_load"] for r in rows6},
+              title="offered load (flits/cycle/core)", fmt="{:.4f}",
+          ))
+
+    print("Figures 7-9 ...")
+    fig7 = fig07_08_09.run_fig7()
+    components = [k for k in next(iter(fig7.values()))]
+    write(outdir, "fig07", stacked_bar_chart(
+        fig7, components,
+        title="Figure 7: energy by component (normalized to ATAC+(Ideal))",
+    ))
+    rows8 = fig07_08_09.run_fig8()
+    write(outdir, "fig08", format_table(rows8, list(rows8[0].keys()))
+          + "\n\n" + bar_chart(
+              {k: v for k, v in rows8[-1].items() if k != "app"},
+              title="average normalized EDP",
+          ))
+    rows9 = fig07_08_09.run_fig9()
+    write(outdir, "fig09", format_table(rows9, list(rows9[0].keys()))
+          + f"\n\ncrossover: {fig07_08_09.crossover_loss(rows9[-1])} dB/cm")
+
+    print("Figures 10-11 ...")
+    out10 = fig10_11.run_fig10()
+    text10 = []
+    for arch, comp in out10.items():
+        text10.append(f"{arch}:")
+        text10.append(bar_chart(
+            {k: v for k, v in comp.items()
+             if k not in ("total", "cache_fraction")},
+            fmt="{:.1f}",
+        ))
+        text10.append(f"total={comp['total']:.1f} mm^2, "
+                      f"cache fraction={comp['cache_fraction']:.2f}\n")
+    write(outdir, "fig10", "\n".join(text10))
+    rows11 = fig10_11.run_fig11()
+    write(outdir, "fig11", format_table(rows11, list(rows11[0].keys()))
+          + "\n\nphotonic area (mm^2): "
+          + str({k: round(v, 1) for k, v in
+                 fig10_11.photonic_area_by_width().items()}))
+
+    print("Figures 12-13 ...")
+    rows12 = fig12_13.run_fig12()
+    write(outdir, "fig12", format_table(rows12, ["app", "starnet_norm"]))
+    rows13 = fig12_13.run_fig13()
+    write(outdir, "fig13", format_table(rows13, list(rows13[0].keys()))
+          + f"\n\nbest scheme: {fig12_13.best_threshold(rows13)}")
+
+    print("Figures 14-16 ...")
+    rows14 = fig14_15_16.run_fig14()
+    write(outdir, "fig14", format_table(rows14, list(rows14[0].keys())))
+    rows15 = fig14_15_16.run_fig15()
+    write(outdir, "fig15", format_table(rows15, list(rows15[0].keys())))
+    rows16 = fig14_15_16.run_fig16()
+    write(outdir, "fig16", format_table(rows16, list(rows16[0].keys())))
+
+    print("Figure 17 + Table V ...")
+    rows17 = fig17_table5.run_fig17()
+    fmt17 = [
+        {k: (f"{v:.3e}" if isinstance(v, float) and k.endswith("_j") else v)
+         for k, v in r.items()}
+        for r in rows17
+    ]
+    write(outdir, "fig17", format_table(fmt17, list(fmt17[0].keys())))
+    rows5v = fig17_table5.run_table5()
+    write(outdir, "table5", format_table(rows5v, list(rows5v[0].keys())))
+
+    print(f"\ndone in {time.time() - t0:.0f}s -> {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Network design-space exploration with synthetic traffic.
+
+Answers the two design questions of the paper's Sections IV-C and V-D
+for a chip you configure at the top of the file:
+
+1. **Which unicast routing policy?**  Sweeps Cluster and
+   Distance-rthres policies over offered load (the Figure 3 study) and
+   reports the latency-optimal policy per load, plus the oblivious
+   rthres that maximizes saturation throughput.
+2. **Which flit width?**  Reports the photonic area cost of widening
+   the ONet (the Figure 11 tradeoff).
+
+Run:  python examples/network_design_space.py
+"""
+
+from repro.network.atac import AtacNetwork
+from repro.network.routing import ClusterRouting, DistanceRouting, distance_all
+from repro.network.topology import MeshTopology
+from repro.tech.photonics import OnetGeometry
+from repro.workloads.synthetic import SyntheticTraffic, run_load_point
+
+MESH_WIDTH = 16          # cores per edge
+LOADS = (0.02, 0.05, 0.08, 0.12, 0.18, 0.30)
+CYCLES, WARMUP = 1500, 400
+
+
+def sweep_routing(topology: MeshTopology) -> None:
+    schemes = [ClusterRouting()] + [
+        DistanceRouting(t) for t in (5, 10, 15, 20)
+    ] + [distance_all(topology)]
+    print(f"Latency (cycles) vs offered load on a {topology.n_cores}-core chip")
+    print(f"{'load':>6s} " + " ".join(f"{s.name:>13s}" for s in schemes))
+    best_at = {}
+    for load in LOADS:
+        row = [f"{load:>6.2f}"]
+        latencies = {}
+        for scheme in schemes:
+            network = AtacNetwork(topology, routing=scheme)
+            traffic = SyntheticTraffic(
+                n_cores=topology.n_cores, load=load,
+                broadcast_fraction=0.001, seed=11,
+            )
+            pt = run_load_point(network, traffic, cycles=CYCLES,
+                                warmup_cycles=WARMUP)
+            latencies[scheme.name] = pt.mean_latency
+            row.append(f"{pt.mean_latency:>12.1f}{'*' if pt.saturated else ' '}")
+        best_at[load] = min(latencies, key=latencies.get)
+        print(" ".join(row))
+    print("(* = past saturation)\n")
+    print("latency-optimal policy per load:")
+    for load, name in best_at.items():
+        print(f"  load {load:.2f}: {name}")
+    # the paper's recommendation: pick one oblivious mid-range rthres
+    print(
+        "\nRecommended oblivious policy: the mid-range rthres that wins "
+        "at the highest pre-saturation load (the paper picks Distance-15)."
+    )
+
+
+def flit_width_area() -> None:
+    print("\nPhotonic area vs ONet flit width (Figure 11's tradeoff):")
+    for width in (16, 32, 64, 128, 256):
+        area = OnetGeometry(data_width_bits=width).photonics_area_mm2()
+        marker = "  <- paper's design point" if width == 64 else ""
+        print(f"  {width:>4d} bits: {area:7.1f} mm^2{marker}")
+
+
+def main() -> None:
+    topology = MeshTopology(width=MESH_WIDTH, cluster_width=4)
+    sweep_routing(topology)
+    flit_width_area()
+
+
+if __name__ == "__main__":
+    main()

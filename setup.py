@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517 --no-build-isolation`` in
+offline environments that lack the ``wheel`` package (PEP-517 editable
+installs require building a wheel).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig3                 # latency vs load curves
+    python -m repro fig8 --mesh-width 32 --scale 1.0
+    python -m repro table5
+    python -m repro all                  # everything, in figure order
+    python -m repro ablations
+
+Scale flags map onto the same knobs as the benchmark suite's
+environment variables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _experiment_mains() -> dict[str, callable]:
+    # imported lazily so `--help` stays fast
+    from repro.experiments import (
+        ablations,
+        fig03,
+        fig04_05_06,
+        fig07_08_09,
+        fig10_11,
+        fig12_13,
+        fig14_15_16,
+        fig17_table5,
+    )
+
+    return {
+        "fig3": fig03.main,
+        "fig4": fig04_05_06.main,
+        "fig5": fig04_05_06.main,
+        "fig6": fig04_05_06.main,
+        "fig7": fig07_08_09.main,
+        "fig8": fig07_08_09.main,
+        "fig9": fig07_08_09.main,
+        "fig10": fig10_11.main,
+        "fig11": fig10_11.main,
+        "fig12": fig12_13.main,
+        "fig13": fig12_13.main,
+        "fig14": fig14_15_16.main,
+        "fig15": fig14_15_16.main,
+        "fig16": fig14_15_16.main,
+        "fig17": fig17_table5.main,
+        "table5": fig17_table5.main,
+        "ablations": ablations.main,
+    }
+
+
+#: experiments grouped by the driver module that prints them, so `all`
+#: runs each driver exactly once.
+_DRIVER_ORDER = (
+    "fig3", "fig4", "fig7", "fig10", "fig12", "fig14", "fig17", "ablations",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Cross-layer Energy and "
+            "Performance Evaluation of a Nanophotonic Manycore Processor "
+            "System' (IPDPS 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="fig3..fig17, table5, ablations, all, or list",
+    )
+    parser.add_argument(
+        "--mesh-width", type=int, default=None,
+        help="cores per mesh edge (32 = the paper's 1024 cores; default 16)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="trace-length multiplier (default 0.6; paper scale 1.0)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk run cache",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.mesh_width is not None:
+        os.environ["REPRO_MESH_WIDTH"] = str(args.mesh_width)
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+
+    mains = _experiment_mains()
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(mains, key=lambda n: (len(n), n)):
+            print(f"  {name}")
+        print("  all")
+        return 0
+    if args.experiment == "all":
+        for name in _DRIVER_ORDER:
+            print(f"\n########## {name} ##########")
+            mains[name]()
+        return 0
+    runner = mains.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "try 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    runner()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

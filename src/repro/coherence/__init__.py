@@ -1,0 +1,40 @@
+"""Cache hierarchy and directory-based coherence.
+
+Implements the paper's memory subsystem (Section III-B):
+
+* private, inclusive L1-I/L1-D (32 KB) and L2 (256 KB) per core,
+* a directory distributed across all cores (static home per line),
+* the **ACKwise_k** limited-directory protocol: up to ``k`` hardware
+  sharer pointers; past ``k`` a global bit is set and only the *number*
+  of sharers is tracked; invalidations then broadcast, but only true
+  sharers acknowledge.  Requires explicit (non-silent) evictions.
+* the **Dir_kB** protocol (Section V-F): ``k`` pointers, broadcast on
+  overflow, acknowledgements from *every* core, silent evictions
+  allowed.
+* the sequence-number mechanism (Section IV-C1) restoring order when
+  ATAC+'s distance routing lets unicasts and broadcasts take different
+  physical routes.
+* 64 memory controllers (one per cluster, 5 GB/s, 100 ns).
+"""
+
+from repro.coherence.messages import MsgType, CoherenceMsg
+from repro.coherence.cache import CacheState, SetAssocCache
+from repro.coherence.sequencing import SequenceTracker, DirectorySequencer
+from repro.coherence.memory import MemoryController
+from repro.coherence.directory import DirectoryController, DirectoryEntry, Protocol
+from repro.coherence.l2controller import L2Controller, CacheCounters
+
+__all__ = [
+    "MsgType",
+    "CoherenceMsg",
+    "CacheState",
+    "SetAssocCache",
+    "SequenceTracker",
+    "DirectorySequencer",
+    "MemoryController",
+    "DirectoryController",
+    "DirectoryEntry",
+    "Protocol",
+    "L2Controller",
+    "CacheCounters",
+]

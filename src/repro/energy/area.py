@@ -1,0 +1,102 @@
+"""Chip area roll-up (Figure 10).
+
+The paper reports: caches dominate (~90 % of chip area); the ENet,
+StarNet and hubs are negligible; the ONet's waveguides and optical
+devices occupy ~40 mm^2 at the 64-bit flit width (~160 mm^2 at 256
+bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import SystemConfig
+from repro.tech.caches import directory_cache, l1d_cache, l1i_cache, l2_cache
+from repro.tech.dsent import HubModel, LinkModel, ReceiveNetModel, RouterModel
+from repro.tech.photonics import OnetGeometry, PhotonicParams
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2."""
+
+    components: dict[str, float]
+
+    def __post_init__(self) -> None:
+        for key, value in self.components.items():
+            if value < 0:
+                raise ValueError(f"negative area for {key}: {value}")
+
+    def __getitem__(self, key: str) -> float:
+        return self.components.get(key, 0.0)
+
+    @property
+    def total_mm2(self) -> float:
+        """Total chip area (mm^2)."""
+        return sum(self.components.values())
+
+    @property
+    def cache_mm2(self) -> float:
+        """Combined cache area (mm^2)."""
+        return sum(
+            self.components.get(k, 0.0) for k in ("l1i", "l1d", "l2", "directory")
+        )
+
+    @property
+    def cache_fraction(self) -> float:
+        """Cache share of total area (Fig 10: ~0.9)."""
+        total = self.total_mm2
+        return self.cache_mm2 / total if total else 0.0
+
+
+class AreaModel:
+    """Computes the Figure 10 area breakdown for a configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        photonics: PhotonicParams | None = None,
+        die_edge_mm: float = 20.0,
+    ) -> None:
+        self.config = config
+        self.photonics = photonics if photonics is not None else PhotonicParams()
+        self.die_edge_mm = die_edge_mm
+
+    def breakdown(self) -> AreaBreakdown:
+        cfg = self.config
+        topo = cfg.topology
+        n = topo.n_cores
+        n_compute = len(topo.compute_cores())
+        comp: dict[str, float] = {
+            "l1i": n_compute * l1i_cache().area_mm2(),
+            "l1d": n_compute * l1d_cache().area_mm2(),
+            "l2": n_compute * l2_cache().area_mm2(),
+            "directory": n_compute
+            * directory_cache(
+                4096, cfg.hardware_sharers, n_cores=n
+            ).area_mm2(),
+        }
+        router = RouterModel(n_ports=5, width_bits=cfg.flit_bits)
+        link = LinkModel(
+            width_bits=cfg.flit_bits,
+            length_mm=topo.hop_length_mm(self.die_edge_mm),
+        )
+        n_links = 4 * topo.width * (topo.width - 1)
+        comp["enet"] = n * router.area_mm2() + n_links * link.area_mm2()
+        if cfg.network in ("atac", "atac+"):
+            kind = "bnet" if cfg.network == "atac" else cfg.receive_net
+            comp["hubs"] = topo.n_clusters * HubModel(cfg.flit_bits).area_mm2()
+            comp["receive_net"] = (
+                topo.n_clusters
+                * 2
+                * ReceiveNetModel(
+                    kind=kind, width_bits=cfg.flit_bits,
+                    cluster_size=topo.cluster_size,
+                ).area_mm2()
+            )
+            comp["photonics"] = OnetGeometry(
+                n_hubs=topo.n_clusters,
+                data_width_bits=cfg.flit_bits,
+                params=self.photonics,
+            ).photonics_area_mm2()
+        return AreaBreakdown(components=comp)

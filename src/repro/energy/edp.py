@@ -1,0 +1,23 @@
+"""Energy-delay product helpers (Figures 8, 13, 14)."""
+
+from __future__ import annotations
+
+from repro.energy.accounting import EnergyBreakdown
+
+
+def energy_delay_product(
+    breakdown: EnergyBreakdown, include_core: bool = False
+) -> float:
+    """EDP in joule-seconds over the figure's component scope."""
+    return breakdown.edp(include_core=include_core)
+
+
+def normalized(values: dict[str, float], reference: str) -> dict[str, float]:
+    """Normalize a metric dict to one of its entries (the paper's
+    figures normalize EDP to ATAC+(Ideal), Cluster routing, etc.)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not among {sorted(values)}")
+    ref = values[reference]
+    if ref <= 0:
+        raise ValueError(f"reference value must be positive, got {ref}")
+    return {k: v / ref for k, v in values.items()}

@@ -1,0 +1,117 @@
+"""Shared experiment machinery: configured runs + an on-disk cache.
+
+A single (app, architecture) simulation feeds many figures (runtime ->
+Fig 4, traffic mix -> Fig 5, load -> Fig 6, energy -> Figs 7-9/17,
+Table V), so runs are cached on disk keyed by their full parameter
+tuple.  Delete ``.repro_cache/`` or set ``REPRO_CACHE=0`` to force
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.coherence.directory import Protocol
+from repro.sim.config import SystemConfig
+from repro.sim.system import ManycoreSystem
+from repro.sim.results import RunResult
+from repro.workloads.splash import APP_PROFILES, generate_traces
+
+#: Default experiment scale (overridable via environment).
+DEFAULT_MESH_WIDTH = int(os.environ.get("REPRO_MESH_WIDTH", "16"))
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.6"))
+
+_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def _cache_path(key: str) -> Path:
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return _CACHE_DIR / f"run_{digest}.pkl"
+
+
+def make_config(
+    network: str = "atac+",
+    mesh_width: int | None = None,
+    protocol: Protocol = Protocol.ACKWISE,
+    hardware_sharers: int = 4,
+    rthres: int = 15,
+    flit_bits: int = 64,
+    receive_net: str = "starnet",
+) -> SystemConfig:
+    """A paper-default config scaled to the requested mesh width."""
+    width = mesh_width if mesh_width is not None else DEFAULT_MESH_WIDTH
+    base = SystemConfig(
+        network=network,
+        protocol=protocol,
+        hardware_sharers=hardware_sharers,
+        rthres=rthres,
+        flit_bits=flit_bits,
+        receive_net=receive_net,
+    )
+    if width == 32:
+        return base
+    return base.scaled(mesh_width=width)
+
+
+def run_app(
+    app: str,
+    network: str = "atac+",
+    mesh_width: int | None = None,
+    scale: float | None = None,
+    protocol: Protocol = Protocol.ACKWISE,
+    hardware_sharers: int = 4,
+    rthres: int = 15,
+    flit_bits: int = 64,
+    receive_net: str = "starnet",
+    seed: int = 42,
+) -> RunResult:
+    """Simulate one application on one architecture (cached)."""
+    if app not in APP_PROFILES:
+        raise KeyError(f"unknown app {app!r}; choose from {sorted(APP_PROFILES)}")
+    scale = scale if scale is not None else DEFAULT_SCALE
+    config = make_config(
+        network, mesh_width, protocol, hardware_sharers, rthres,
+        flit_bits, receive_net,
+    )
+    key = (
+        f"v4|{app}|{network}|{config.mesh_width}|{scale}|{protocol.value}|"
+        f"{hardware_sharers}|{rthres}|{flit_bits}|{receive_net}|{seed}"
+    )
+    path = _cache_path(key)
+    if cache_enabled() and path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    system = ManycoreSystem(config)
+    traces = generate_traces(
+        APP_PROFILES[app],
+        system.topology,
+        l2_lines=config.l2_sets * config.l2_ways,
+        scale=scale,
+        seed=seed,
+    )
+    result = system.run(traces, app=app)
+    if cache_enabled():
+        _CACHE_DIR.mkdir(exist_ok=True)
+        with path.open("wb") as fh:
+            pickle.dump(result, fh)
+    return result
+
+
+def format_table(rows: list[dict], columns: list[str]) -> str:
+    """Plain-text table used by every experiment's CLI output."""
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

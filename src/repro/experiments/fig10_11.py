@@ -1,0 +1,85 @@
+"""Figures 10-11: area breakdown and flit-width sensitivity.
+
+* **Figure 10**: chip area of ATAC+ vs the electrical mesh.  Caches
+  dominate (~90 %); electrical network components are negligible; the
+  photonics occupy ~40 mm^2 at 64-bit flit width.
+* **Figure 11**: ATAC+ runtime as flit width sweeps 16..256 bits.
+  Performance improves steeply to 64 bits (~50 % from 16) and flattens
+  (~10 % more to 256); the paper picks 64 bits because photonic area
+  grows linearly with width (~160 mm^2 at 256 bits).
+"""
+
+from __future__ import annotations
+
+from repro.energy.area import AreaModel
+from repro.experiments.common import format_table, make_config, run_app
+from repro.tech.photonics import OnetGeometry
+
+#: the four applications Figure 11 sweeps
+FIG11_APPS = ("radix", "barnes", "ocean_contig", "ocean_non_contig")
+FLIT_WIDTHS = (16, 32, 64, 128, 256)
+
+
+def run_fig10(mesh_width: int | None = None) -> dict[str, dict[str, float]]:
+    """Area breakdowns (mm^2) for ATAC+ and the electrical mesh."""
+    out = {}
+    for net in ("atac+", "emesh-bcast"):
+        config = make_config(net, 32 if mesh_width is None else mesh_width)
+        breakdown = AreaModel(config).breakdown()
+        d = dict(breakdown.components)
+        d["total"] = breakdown.total_mm2
+        d["cache_fraction"] = breakdown.cache_fraction
+        out["ATAC+" if net == "atac+" else "EMesh"] = d
+    return out
+
+
+def run_fig11(
+    apps: tuple[str, ...] = FIG11_APPS,
+    widths: tuple[int, ...] = FLIT_WIDTHS,
+    mesh_width: int | None = None,
+    scale: float | None = None,
+) -> list[dict]:
+    """Runtime (normalized to 64-bit) and photonic area per flit width."""
+    rows = []
+    for app in apps:
+        ref = run_app(
+            app, network="atac+", flit_bits=64,
+            mesh_width=mesh_width, scale=scale,
+        ).completion_cycles
+        row = {"app": app}
+        for w in widths:
+            res = run_app(
+                app, network="atac+", flit_bits=w,
+                mesh_width=mesh_width, scale=scale,
+            )
+            row[f"w{w}"] = round(res.completion_cycles / ref, 3)
+        rows.append(row)
+    avg = {"app": "average"}
+    for w in widths:
+        avg[f"w{w}"] = round(sum(r[f"w{w}"] for r in rows) / len(rows), 3)
+    rows.append(avg)
+    return rows
+
+
+def photonic_area_by_width(widths: tuple[int, ...] = FLIT_WIDTHS) -> dict[int, float]:
+    """Photonic footprint (mm^2) per flit width (the Figure 11 tradeoff)."""
+    return {
+        w: OnetGeometry(data_width_bits=w).photonics_area_mm2() for w in widths
+    }
+
+
+def main() -> None:
+    print("Figure 10: area breakdown (mm^2)")
+    for arch, comp in run_fig10().items():
+        parts = ", ".join(f"{k}={v:.1f}" for k, v in comp.items())
+        print(f"  {arch}: {parts}")
+    print("\nFigure 11: runtime vs flit width (normalized to 64-bit)")
+    rows = run_fig11()
+    print(format_table(rows, list(rows[0].keys())))
+    print("\nphotonic area by flit width (mm^2):", {
+        k: round(v, 1) for k, v in photonic_area_by_width().items()
+    })
+
+
+if __name__ == "__main__":
+    main()

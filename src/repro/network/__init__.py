@@ -1,0 +1,59 @@
+"""Event-driven on-chip network models.
+
+Implements the three networks the paper evaluates plus the original-ATAC
+components needed for the ablations:
+
+* :class:`repro.network.mesh.EMeshPure`   -- plain electrical mesh
+  (broadcasts become N-1 serialized unicasts).
+* :class:`repro.network.mesh.EMeshBCast`  -- electrical mesh with native
+  router multicast (spanning-tree broadcast).
+* :class:`repro.network.atac.AtacNetwork` -- the hybrid network: ENet
+  electrical mesh + ONet adaptive-SWMR optical broadcast ring +
+  per-cluster BNet or StarNet receive network, with cluster-based or
+  distance-based unicast routing.
+
+All networks share one timing methodology (packet-level wormhole
+approximation with per-port resource reservation, see
+:mod:`repro.network.engine`) and one counter vocabulary
+(:mod:`repro.network.stats`) that the energy layer consumes.
+"""
+
+from repro.network.types import Packet, TrafficClass, BROADCAST
+from repro.network.topology import MeshTopology
+from repro.network.stats import NetworkStats
+from repro.network.engine import PortResource, MultiPortResource, Network
+from repro.network.routing import (
+    RoutingPolicy,
+    ClusterRouting,
+    DistanceRouting,
+    distance_all,
+)
+from repro.network.mesh import EMeshPure, EMeshBCast
+from repro.network.onet import AdaptiveSWMRLink, LaserMode
+from repro.network.cluster_nets import ReceiveNetwork
+from repro.network.atac import AtacNetwork
+from repro.network.analytic import AnalyticModel
+from repro.network.queueing import AnalyticMesh
+
+__all__ = [
+    "Packet",
+    "TrafficClass",
+    "BROADCAST",
+    "MeshTopology",
+    "NetworkStats",
+    "PortResource",
+    "MultiPortResource",
+    "Network",
+    "RoutingPolicy",
+    "ClusterRouting",
+    "DistanceRouting",
+    "distance_all",
+    "EMeshPure",
+    "EMeshBCast",
+    "AdaptiveSWMRLink",
+    "LaserMode",
+    "ReceiveNetwork",
+    "AtacNetwork",
+    "AnalyticModel",
+    "AnalyticMesh",
+]

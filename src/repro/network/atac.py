@@ -1,0 +1,149 @@
+"""The composite ATAC / ATAC+ network (Figure 1).
+
+Three fabrics stitched together:
+
+* **ENet** -- the electrical mesh (shared machinery with the EMesh
+  baselines), used (a) for short-distance unicasts per the routing
+  policy and (b) to carry flits from a source core to its cluster hub.
+* **ONet** -- 64 adaptive SWMR links (one per hub), each a
+  single-writer multiple-reader WDM channel with 3-cycle link delay.
+* **Receive networks** -- per-cluster BNet (original ATAC) or StarNet
+  (ATAC+) delivering from the hub to the cores in one cycle; two
+  parallel instances per cluster (Table I).
+
+The unicast routing policy is pluggable (:mod:`repro.network.routing`):
+``ClusterRouting`` gives the original ATAC behaviour,
+``DistanceRouting(15)`` the ATAC+ default.
+
+A hybrid-path unicast therefore costs::
+
+    ENet(src -> src hub) + hub + ONet channel + hub + StarNet -> dst
+
+and a broadcast::
+
+    ENet(src -> src hub) + hub + ONet broadcast
+        + per-cluster (hub + StarNet broadcast) -> every core
+"""
+
+from __future__ import annotations
+
+from repro.network.cluster_nets import ReceiveNetTiming, ReceiveNetwork
+from repro.network.engine import MeshTiming, PortResource
+from repro.network.mesh import _MeshBase
+from repro.network.onet import AdaptiveSWMRLink, OnetTiming
+from repro.network.routing import ClusterRouting, DistanceRouting, RoutingPolicy
+from repro.network.topology import MeshTopology
+from repro.network.types import Packet
+
+
+class AtacNetwork(_MeshBase):
+    """ATAC (BNet + cluster routing) or ATAC+ (StarNet + distance routing)."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        flit_bits: int = 64,
+        routing: RoutingPolicy | None = None,
+        receive_net: str = "starnet",
+        mesh_timing: MeshTiming | None = None,
+        onet_timing: OnetTiming | None = None,
+        receive_timing: ReceiveNetTiming | None = None,
+        starnets_per_cluster: int = 2,
+        hub_delay: int = 1,
+    ) -> None:
+        super().__init__(topology, flit_bits, mesh_timing)
+        if hub_delay < 0:
+            raise ValueError(f"hub_delay must be non-negative, got {hub_delay}")
+        self.routing: RoutingPolicy = (
+            routing if routing is not None else DistanceRouting(15)
+        )
+        self.receive_net_kind = receive_net
+        self.hub_delay = hub_delay
+        self._onet_timing = onet_timing if onet_timing is not None else OnetTiming()
+        n_hubs = topology.n_clusters
+        self.onet_links = [
+            AdaptiveSWMRLink(h, n_hubs, self._onet_timing, self.stats)
+            for h in range(n_hubs)
+        ]
+        self._local_index = {
+            core: i
+            for c in range(n_hubs)
+            for i, core in enumerate(topology.cluster_cores(c))
+        }
+        self.receive_nets = [
+            ReceiveNetwork(
+                cluster=c,
+                cluster_size=topology.cluster_size,
+                kind=receive_net,
+                n_parallel=starnets_per_cluster,
+                timing=receive_timing,
+                stats=self.stats,
+            )
+            for c in range(n_hubs)
+        ]
+
+    @property
+    def name(self) -> str:
+        if self.receive_net_kind == "bnet" and isinstance(self.routing, ClusterRouting):
+            return "ATAC"
+        return "ATAC+"
+
+    # ------------------------------------------------------------------
+    def _to_hub(self, src: int, t: int, n_flits: int) -> int:
+        """ENet trip from a core to its cluster hub, plus hub ingress."""
+        hub_core = self.topology.hub_core(self.topology.cluster_of(src))
+        if src != hub_core:
+            t = self._traverse(src, hub_core, t, n_flits)
+        self.stats.hub_flit_traversals += n_flits
+        return t + self.hub_delay
+
+    # ------------------------------------------------------------------
+    def _send_unicast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        topo = self.topology
+        if not self.routing.use_onet(topo, pkt.src, pkt.dst):
+            arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
+            return [(pkt.dst, arrival)]
+
+        src_cluster = topo.cluster_of(pkt.src)
+        dst_cluster = topo.cluster_of(pkt.dst)
+        at_hub = self._to_hub(pkt.src, pkt.time, n_flits)
+        _, hub_arrival = self.onet_links[src_cluster].transmit(
+            at_hub, n_flits, broadcast=False
+        )
+        # receive-side hub crossing, then the cluster receive network
+        self.stats.hub_flit_traversals += n_flits
+        arrival = self.receive_nets[dst_cluster].deliver_unicast(
+            hub_arrival + self.hub_delay, n_flits, self._local_index[pkt.dst]
+        )
+        return [(pkt.dst, arrival)]
+
+    # ------------------------------------------------------------------
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        topo = self.topology
+        src_cluster = topo.cluster_of(pkt.src)
+        at_hub = self._to_hub(pkt.src, pkt.time, n_flits)
+        _, hub_arrival = self.onet_links[src_cluster].transmit(
+            at_hub, n_flits, broadcast=True
+        )
+        deliveries: list[tuple[int, int]] = []
+        for cluster in range(topo.n_clusters):
+            if cluster == src_cluster:
+                # The sender's own cluster is fed directly from the hub
+                # (its own modulated light is not re-detected).
+                ready = at_hub
+            else:
+                self.stats.hub_flit_traversals += n_flits
+                ready = hub_arrival + self.hub_delay
+            arrival = self.receive_nets[cluster].deliver_broadcast(ready, n_flits)
+            for core in topo.cluster_cores(cluster):
+                if core != pkt.src:
+                    deliveries.append((core, arrival))
+        return deliveries
+
+    # ------------------------------------------------------------------
+    def onet_utilization(self, total_cycles: int) -> float:
+        """Mean adaptive-SWMR link utilization across hubs (Table V)."""
+        if total_cycles <= 0:
+            raise ValueError(f"total_cycles must be positive, got {total_cycles}")
+        utils = [l.utilization(total_cycles) for l in self.onet_links]
+        return sum(utils) / len(utils)

@@ -1,0 +1,95 @@
+"""Cluster receive networks: the BNet fanout tree and the StarNet.
+
+Both deliver flits from a cluster's hub to its cores with single-cycle
+latency (Section IV-B: "The performance of the StarNet is exactly the
+same as the BNet. Both ... have single-cycle latencies").  Performance-
+wise they are interchangeable; they differ only in the energy counters
+they feed (see :class:`repro.tech.dsent.ReceiveNetModel`).
+
+Each cluster has **two** parallel receive networks (Table I: "Total
+StarNets per Cluster: 2").  The hub statically partitions the cluster's
+cores between them (each network serves half the cores); this doubles
+hub egress bandwidth -- the contention-relief discussed around Figure
+15 -- while keeping messages to any given core in FIFO order, which the
+coherence protocol relies on for unicast streams.  Broadcasts occupy
+both networks (every core must hear them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.engine import PortResource
+from repro.network.stats import NetworkStats
+
+
+@dataclass(frozen=True)
+class ReceiveNetTiming:
+    """Hub-to-core delivery timing (Table I: 1 cycle)."""
+
+    link_delay: int = 1
+
+
+class ReceiveNetwork:
+    """The per-cluster hub-to-cores delivery stage (BNet or StarNet)."""
+
+    __slots__ = ("kind", "cluster", "cluster_size", "timing", "stats", "_ports")
+
+    def __init__(
+        self,
+        cluster: int,
+        cluster_size: int,
+        kind: str = "starnet",
+        n_parallel: int = 2,
+        timing: ReceiveNetTiming | None = None,
+        stats: NetworkStats | None = None,
+    ) -> None:
+        if kind not in ("starnet", "bnet"):
+            raise ValueError(f"kind must be 'starnet' or 'bnet', got {kind!r}")
+        if cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
+        if n_parallel < 1:
+            raise ValueError(f"n_parallel must be >= 1, got {n_parallel}")
+        self.kind = kind
+        self.cluster = cluster
+        self.cluster_size = cluster_size
+        self.timing = timing if timing is not None else ReceiveNetTiming()
+        self.stats = stats if stats is not None else NetworkStats()
+        self._ports = [PortResource() for _ in range(n_parallel)]
+
+    def _port_for(self, local_index: int) -> PortResource:
+        """Static core-to-network assignment (preserves per-core FIFO)."""
+        if not 0 <= local_index < self.cluster_size:
+            raise ValueError(
+                f"local core index {local_index} outside cluster of "
+                f"{self.cluster_size}"
+            )
+        return self._ports[local_index % len(self._ports)]
+
+    def deliver_unicast(self, time: int, n_flits: int, local_index: int = 0) -> int:
+        """Deliver a message to one core; returns arrival time.
+
+        ``local_index`` is the target core's index within the cluster,
+        used to pick its statically-assigned receive network.
+        """
+        start = self._port_for(local_index).reserve(time, n_flits)
+        self.stats.receive_net_unicast_flits += n_flits
+        return start + self.timing.link_delay + n_flits
+
+    def deliver_broadcast(self, time: int, n_flits: int) -> int:
+        """Deliver a message to every core in the cluster.
+
+        Both receive networks replicate the message (each serves half
+        the cores); delivery completes when the later one finishes.
+        """
+        arrivals = [
+            p.reserve(time, n_flits) + self.timing.link_delay + n_flits
+            for p in self._ports
+        ]
+        self.stats.receive_net_broadcast_flits += n_flits
+        return max(arrivals)
+
+    @property
+    def backlog_at(self) -> int:
+        """Earliest time a new message could start (for adaptive routing)."""
+        return min(p.free_at for p in self._ports)

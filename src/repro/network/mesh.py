@@ -1,0 +1,125 @@
+"""The electrical baselines: EMesh-Pure and EMesh-BCast (Section V-A).
+
+Both are 2-D packet-switched meshes with XY dimension-order (oblivious)
+routing, wormhole flow control and a single virtual channel, 1-cycle
+routers and 1-cycle links (Table I).  They differ only in broadcast
+handling:
+
+* **EMesh-Pure**: no multicast hardware -- a broadcast is the source
+  injecting N-1 back-to-back unicasts, which serializes at the source
+  router and "severely degrad[es] performance for broadcast-heavy
+  applications".
+* **EMesh-BCast**: routers replicate flits along an XY spanning tree,
+  so a broadcast costs one tree traversal.
+"""
+
+from __future__ import annotations
+
+from repro.network.engine import MeshTiming, Network, PortResource
+from repro.network.topology import MeshTopology
+from repro.network.types import Packet
+
+
+class _MeshBase(Network):
+    """Shared XY-routed mesh machinery."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        flit_bits: int = 64,
+        timing: MeshTiming | None = None,
+    ) -> None:
+        super().__init__(topology, flit_bits)
+        self.timing = timing if timing is not None else MeshTiming()
+        self._ports: dict[tuple[int, int], PortResource] = {}
+
+    def _port(self, u: int, v: int) -> PortResource:
+        """The output port of router ``u`` facing neighbour ``v``."""
+        key = (u, v)
+        port = self._ports.get(key)
+        if port is None:
+            port = self._ports[key] = PortResource()
+        return port
+
+    def _traverse(self, src: int, dst: int, t: int, n_flits: int) -> int:
+        """Route one packet src->dst starting at time t; returns arrival.
+
+        Walks the XY path reserving each hop's output port; counts
+        router/link flit traversals for the energy model.
+        """
+        path = self.topology.xy_route(src, dst)
+        hops = len(path) - 1
+        s = self.stats
+        s.router_flit_traversals += n_flits * (hops + 1)  # incl. ejection router
+        s.link_flit_traversals += n_flits * hops
+        s.router_arbitrations += hops + 1
+        head = t
+        hop_latency = self.timing.hop_latency
+        for i in range(hops):
+            port = self._port(path[i], path[i + 1])
+            head = port.reserve(head, n_flits) + hop_latency
+        # head has arrived; the tail needs the serialization time.
+        return head + n_flits
+
+    def mesh_port_count(self) -> int:
+        """Instantiated (lazily created) ports so far -- for tests."""
+        return len(self._ports)
+
+
+class EMeshPure(_MeshBase):
+    """Plain electrical mesh: broadcasts are N-1 serialized unicasts."""
+
+    @property
+    def name(self) -> str:
+        return "EMesh-Pure"
+
+    def _send_unicast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
+        return [(pkt.dst, arrival)]
+
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        # The source's network interface injects one unicast per
+        # destination; they contend for the source's output ports and
+        # serialize there, which is exactly the EMesh-Pure penalty.
+        deliveries = []
+        for dst in range(self.topology.n_cores):
+            if dst == pkt.src:
+                continue
+            arrival = self._traverse(pkt.src, dst, pkt.time, n_flits)
+            deliveries.append((dst, arrival))
+        return deliveries
+
+
+class EMeshBCast(_MeshBase):
+    """Electrical mesh with native multicast at each router."""
+
+    @property
+    def name(self) -> str:
+        return "EMesh-BCast"
+
+    def _send_unicast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
+        return [(pkt.dst, arrival)]
+
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        # Breadth-first traversal of the XY spanning tree.  Each tree
+        # edge is an independently reserved port, so replication fans
+        # out in parallel (native hardware multicast).
+        tree = self.topology.broadcast_tree(pkt.src)
+        hop_latency = self.timing.hop_latency
+        s = self.stats
+        deliveries: list[tuple[int, int]] = []
+        frontier = [(pkt.src, pkt.time)]
+        s.router_flit_traversals += n_flits  # source router
+        s.router_arbitrations += 1
+        while frontier:
+            node, head = frontier.pop()
+            for child in tree[node]:
+                port = self._port(node, child)
+                child_head = port.reserve(head, n_flits) + hop_latency
+                s.router_flit_traversals += n_flits
+                s.link_flit_traversals += n_flits
+                s.router_arbitrations += 1
+                deliveries.append((child, child_head + n_flits))
+                frontier.append((child, child_head))
+        return deliveries

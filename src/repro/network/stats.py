@@ -1,0 +1,125 @@
+"""Event counters shared by all network models.
+
+These are the "event counters" of the paper's toolflow (Section V-A):
+Graphite counts events, DSENT/McPAT supply per-event energies, and the
+energy layer multiplies them together.  Every counter here has a
+corresponding per-event energy in :mod:`repro.energy.accounting`.
+
+Counters also feed the paper's traffic metrics directly:
+
+* Figure 5 ("percentage of unicast and broadcast traffic *as measured
+  at the receiver*") = ``received_unicast_flits`` vs
+  ``received_broadcast_flits``.
+* Figure 6 (offered load, flits/cycle/core) = ``injected_flits`` /
+  (cycles x cores).
+* Table V (adaptive SWMR link utilization, unicast-to-broadcast ratio)
+  = the ``onet_*`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counter bundle; one per network instance."""
+
+    # -- injection / delivery -----------------------------------------
+    packets_sent: int = 0
+    unicasts_sent: int = 0
+    broadcasts_sent: int = 0
+    injected_flits: int = 0
+    received_unicast_flits: int = 0
+    received_broadcast_flits: int = 0
+
+    # -- electrical mesh (ENet or standalone mesh) ---------------------
+    router_flit_traversals: int = 0   # flits x routers
+    link_flit_traversals: int = 0     # flits x links
+    router_arbitrations: int = 0      # per packet per router
+
+    # -- optical ONet ---------------------------------------------------
+    onet_unicasts: int = 0
+    onet_broadcasts: int = 0
+    onet_unicast_flits: int = 0       # flits modulated in unicast mode
+    onet_broadcast_flits: int = 0     # flits modulated in broadcast mode
+    onet_unicast_cycles: int = 0      # channel-cycles in unicast mode
+    onet_broadcast_cycles: int = 0    # channel-cycles in broadcast mode
+    onet_select_notifications: int = 0
+    onet_mode_transitions: int = 0
+    onet_receiver_flits: int = 0      # flits x receivers that detected them
+
+    # -- hubs and cluster receive networks ------------------------------
+    hub_flit_traversals: int = 0
+    receive_net_unicast_flits: int = 0
+    receive_net_broadcast_flits: int = 0
+
+    # -- latency (for Fig 3 and diagnostics) -----------------------------
+    latency_sum: int = 0
+    latency_count: int = 0
+    latency_max: int = 0
+
+    def record_latency(self, latency: int) -> None:
+        """Accumulate one packet's source-to-sink latency."""
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.latency_sum += latency
+        self.latency_count += 1
+        if latency > self.latency_max:
+            self.latency_max = latency
+
+    @property
+    def mean_latency(self) -> float:
+        """Average packet latency (cycles); NaN-free: 0.0 if no packets."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    @property
+    def onet_busy_cycles(self) -> int:
+        """Channel-cycles in either active laser mode (Table V numerator)."""
+        return self.onet_unicast_cycles + self.onet_broadcast_cycles
+
+    def onet_link_utilization(self, total_cycles: int, n_channels: int) -> float:
+        """Fraction of time the adaptive SWMR links spend non-idle.
+
+        Table V reports this per application: "the percentage of time in
+        unicast or broadcast modes" -- 6 %-29 % for the studied apps.
+        """
+        if total_cycles <= 0 or n_channels <= 0:
+            raise ValueError("total_cycles and n_channels must be positive")
+        return min(1.0, self.onet_busy_cycles / (total_cycles * n_channels))
+
+    def unicasts_per_broadcast(self) -> float:
+        """Average unicast packets between successive ONet broadcasts.
+
+        Table V's second column; ``inf`` when no broadcasts occurred.
+        """
+        if self.onet_broadcasts == 0:
+            return float("inf")
+        return self.onet_unicasts / self.onet_broadcasts
+
+    def receiver_broadcast_fraction(self) -> float:
+        """Fraction of receiver-side traffic that is broadcast (Fig 5)."""
+        total = self.received_unicast_flits + self.received_broadcast_flits
+        if total == 0:
+            return 0.0
+        return self.received_broadcast_flits / total
+
+    def offered_load(self, cycles: int, n_cores: int) -> float:
+        """Offered load in flits/cycle/core (Fig 6)."""
+        if cycles <= 0 or n_cores <= 0:
+            raise ValueError("cycles and n_cores must be positive")
+        return self.injected_flits / (cycles * n_cores)
+
+    def merged_with(self, other: "NetworkStats") -> "NetworkStats":
+        """Sum of two counter bundles (latency max takes the max)."""
+        out = NetworkStats()
+        for f in fields(NetworkStats):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        out.latency_max = max(self.latency_max, other.latency_max)
+        return out
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for results serialization)."""
+        return {f.name: getattr(self, f.name) for f in fields(NetworkStats)}

@@ -1,0 +1,204 @@
+"""Mesh/cluster geometry: coordinates, XY routes, clusters and hubs.
+
+The 1024-core ATAC chip is a 32x32 mesh of cores grouped into 64
+clusters of 4x4 cores (Section III-A).  All geometric questions --
+"what is the Manhattan distance between cores 37 and 901?", "which hub
+serves core 512?", "what is the XY route?" -- are answered here, for
+any square mesh whose edge is a multiple of the cluster edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width x width`` core mesh with ``cluster_width``-square clusters.
+
+    Attributes
+    ----------
+    width:
+        Cores per mesh edge (32 for the paper's 1024-core chip).
+    cluster_width:
+        Cores per cluster edge (4 for the paper's 16-core clusters).
+    """
+
+    width: int = 32
+    cluster_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.cluster_width < 1:
+            raise ValueError(f"cluster_width must be >= 1, got {self.cluster_width}")
+        if self.width % self.cluster_width:
+            raise ValueError(
+                f"mesh width {self.width} not a multiple of cluster width "
+                f"{self.cluster_width}"
+            )
+
+    # -- basic counts ---------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.width * self.width
+
+    @property
+    def cluster_size(self) -> int:
+        """Cores per cluster (16 in the paper)."""
+        return self.cluster_width * self.cluster_width
+
+    @property
+    def clusters_per_edge(self) -> int:
+        return self.width // self.cluster_width
+
+    @property
+    def n_clusters(self) -> int:
+        return self.clusters_per_edge * self.clusters_per_edge
+
+    # -- coordinates ----------------------------------------------------
+    def coords(self, core: int) -> tuple[int, int]:
+        """(x, y) position of a core id (row-major)."""
+        self._check_core(core)
+        return core % self.width, core // self.width
+
+    def core_at(self, x: int, y: int) -> int:
+        """Core id at mesh position (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.width):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.width} mesh")
+        return y * self.width + x
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Manhattan (mesh hop) distance between two cores.
+
+        This is the distance metric of the distance-based routing
+        protocol (Section IV-C): "distance is defined as the manhattan
+        distance between the sender and receiver as measured over an
+        electrical mesh network".
+        """
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # -- clusters and hubs ------------------------------------------------
+    def cluster_of(self, core: int) -> int:
+        """Cluster id containing a core (row-major over the cluster grid)."""
+        x, y = self.coords(core)
+        cx, cy = x // self.cluster_width, y // self.cluster_width
+        return cy * self.clusters_per_edge + cx
+
+    def cluster_cores(self, cluster: int) -> list[int]:
+        """All core ids in a cluster."""
+        self._check_cluster(cluster)
+        cx = (cluster % self.clusters_per_edge) * self.cluster_width
+        cy = (cluster // self.clusters_per_edge) * self.cluster_width
+        return [
+            self.core_at(cx + dx, cy + dy)
+            for dy in range(self.cluster_width)
+            for dx in range(self.cluster_width)
+        ]
+
+    def hub_core(self, cluster: int) -> int:
+        """Mesh position (as a core id) of the cluster's ONet hub.
+
+        The hub sits near the cluster centre so ENet trips to it are
+        short from every member core.
+        """
+        self._check_cluster(cluster)
+        cx = (cluster % self.clusters_per_edge) * self.cluster_width
+        cy = (cluster // self.clusters_per_edge) * self.cluster_width
+        mid = self.cluster_width // 2
+        return self.core_at(cx + mid, cy + mid)
+
+    def memctrl_core(self, cluster: int) -> int:
+        """Core position replaced by the cluster's memory controller.
+
+        Section III-B: "Each cluster has one core replaced by a memory
+        controller."  We place it at the cluster's origin corner.
+        """
+        self._check_cluster(cluster)
+        cx = (cluster % self.clusters_per_edge) * self.cluster_width
+        cy = (cluster // self.clusters_per_edge) * self.cluster_width
+        return self.core_at(cx, cy)
+
+    def memctrl_cores(self) -> list[int]:
+        """All memory-controller positions, one per cluster."""
+        return [self.memctrl_core(c) for c in range(self.n_clusters)]
+
+    def compute_cores(self) -> list[int]:
+        """Core ids that execute application threads (non-memctrl)."""
+        mem = set(self.memctrl_cores())
+        return [c for c in range(self.n_cores) if c not in mem]
+
+    # -- routing ----------------------------------------------------------
+    def xy_route(self, src: int, dst: int) -> list[int]:
+        """Dimension-ordered (X then Y) route, inclusive of endpoints."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.core_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.core_at(x, y))
+        return path
+
+    def broadcast_tree(self, src: int) -> dict[int, list[int]]:
+        """XY-dimension-ordered multicast tree rooted at ``src``.
+
+        Returns ``{node: [children]}``.  The tree first spans the root's
+        row (X dimension), then each row node spans its column (Y
+        dimension) -- the standard mesh multicast used by routers with
+        native broadcast support (EMesh-BCast).
+        """
+        children: dict[int, list[int]] = {src: []}
+        sx, sy = self.coords(src)
+        # span the row
+        for direction in (-1, 1):
+            prev = src
+            x = sx + direction
+            while 0 <= x < self.width:
+                node = self.core_at(x, sy)
+                children.setdefault(prev, []).append(node)
+                children.setdefault(node, [])
+                prev = node
+                x += direction
+        # each row node spans its column
+        for x in range(self.width):
+            row_node = self.core_at(x, sy)
+            for direction in (-1, 1):
+                prev = row_node
+                y = sy + direction
+                while 0 <= y < self.width:
+                    node = self.core_at(x, y)
+                    children.setdefault(prev, []).append(node)
+                    children.setdefault(node, [])
+                    prev = node
+                    y += direction
+        return children
+
+    # -- link geometry ------------------------------------------------------
+    def hop_length_mm(self, die_edge_mm: float = 20.0) -> float:
+        """Physical length of one mesh hop for the energy models (mm)."""
+        if die_edge_mm <= 0:
+            raise ValueError(f"die_edge_mm must be positive, got {die_edge_mm}")
+        return die_edge_mm / self.width
+
+    # -- checks ---------------------------------------------------------
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} outside [0, {self.n_cores})")
+
+    def _check_cluster(self, cluster: int) -> None:
+        if not 0 <= cluster < self.n_clusters:
+            raise ValueError(f"cluster {cluster} outside [0, {self.n_clusters})")
+
+
+#: The paper's chip: 32x32 cores, 4x4-core clusters, 64 hubs.
+ATAC_1024 = MeshTopology(width=32, cluster_width=4)

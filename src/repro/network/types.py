@@ -1,0 +1,88 @@
+"""Shared network message types.
+
+The paper's packet formats (Section IV-C1, "Network Traffic Overhead"):
+
+* a *coherence* message is 88 bits (64 address + 20 sender/receiver IDs
+  + 4 type) -> 2 flits at the 64-bit flit width;
+* a *data* message is 600 bits (512 data + 64 address + 20 IDs + 4
+  type) -> 10 flits;
+* the 16-bit sequence number rides in existing slack, adding no flits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+#: Destination sentinel meaning "every core on the chip".
+BROADCAST = -1
+
+#: Bits in a coherence (control) message.
+CONTROL_MSG_BITS = 88
+#: Bits in a data-carrying message (64 B cache line + header).
+DATA_MSG_BITS = 600
+
+
+class TrafficClass(Enum):
+    """Unicast vs broadcast; determines routing and energy treatment."""
+
+    UNICAST = "unicast"
+    BROADCAST = "broadcast"
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    Attributes
+    ----------
+    src:
+        Source core id.
+    dst:
+        Destination core id, or :data:`BROADCAST`.
+    size_bits:
+        Payload + header size; converted to flits by each network.
+    time:
+        Injection time (cycles).
+    payload:
+        Opaque object carried to the receiver (coherence messages in the
+        full-system simulator; ``None`` for synthetic traffic).
+    """
+
+    src: int
+    dst: int
+    size_bits: int = CONTROL_MSG_BITS
+    time: int = 0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.src < 0:
+            raise ValueError(f"src must be a core id >= 0, got {self.src}")
+        if self.dst < 0 and self.dst != BROADCAST:
+            raise ValueError(f"dst must be a core id or BROADCAST, got {self.dst}")
+        if self.size_bits <= 0:
+            raise ValueError(f"size_bits must be positive, got {self.size_bits}")
+        if self.time < 0:
+            raise ValueError(f"time must be non-negative, got {self.time}")
+
+    @property
+    def traffic_class(self) -> TrafficClass:
+        return TrafficClass.BROADCAST if self.dst == BROADCAST else TrafficClass.UNICAST
+
+    def n_flits(self, flit_bits: int) -> int:
+        """Number of flits at the given flit width."""
+        if flit_bits <= 0:
+            raise ValueError(f"flit_bits must be positive, got {flit_bits}")
+        return max(1, math.ceil(self.size_bits / flit_bits))
+
+
+def control_packet(src: int, dst: int, time: int = 0, payload: object = None) -> Packet:
+    """Convenience constructor for an 88-bit coherence packet."""
+    return Packet(src=src, dst=dst, size_bits=CONTROL_MSG_BITS, time=time, payload=payload)
+
+
+def data_packet(src: int, dst: int, time: int = 0, payload: object = None) -> Packet:
+    """Convenience constructor for a 600-bit data packet."""
+    return Packet(src=src, dst=dst, size_bits=DATA_MSG_BITS, time=time, payload=payload)

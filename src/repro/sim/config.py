@@ -1,0 +1,113 @@
+"""Full-system configuration (paper Table I) and network factory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.coherence.directory import Protocol
+from repro.network.atac import AtacNetwork
+from repro.network.engine import Network
+from repro.network.mesh import EMeshBCast, EMeshPure
+from repro.network.routing import ClusterRouting, DistanceRouting, RoutingPolicy
+from repro.network.topology import MeshTopology
+
+#: Architectures evaluated in the paper (Section V-A).
+NETWORK_CHOICES = ("atac+", "atac", "emesh-bcast", "emesh-pure")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to instantiate a :class:`ManycoreSystem`.
+
+    Defaults are the paper's Table I at full 1024-core scale; tests use
+    ``scaled()`` to shrink the chip and the caches proportionally.
+    """
+
+    # -- chip geometry ---------------------------------------------------
+    mesh_width: int = 32
+    cluster_width: int = 4
+
+    # -- network ----------------------------------------------------------
+    network: str = "atac+"
+    flit_bits: int = 64
+    rthres: int = 15                  # distance-routing threshold (ATAC+)
+    receive_net: str = "starnet"      # "starnet" (ATAC+) | "bnet" (ATAC)
+    starnets_per_cluster: int = 2
+
+    # -- memory hierarchy --------------------------------------------------
+    l1_sets: int = 128                # 32 KB, 4-way, 64 B lines
+    l1_ways: int = 4
+    l2_sets: int = 512                # 256 KB, 8-way
+    l2_ways: int = 8
+    l1_hit_latency: int = 1
+    l2_hit_latency: int = 8
+    fill_latency: int = 2
+    dir_latency: int = 3
+    mem_latency: int = 100            # 100 ns at 1 GHz
+    mem_bytes_per_cycle: float = 5.0  # 5 GB/s per controller
+
+    # -- coherence ----------------------------------------------------------
+    protocol: Protocol = Protocol.ACKWISE
+    hardware_sharers: int = 4         # ACKwise_4 unless stated otherwise
+    sequencing: bool = True
+
+    freq_hz: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.network not in NETWORK_CHOICES:
+            raise ValueError(
+                f"network must be one of {NETWORK_CHOICES}, got {self.network!r}"
+            )
+        if self.receive_net not in ("starnet", "bnet"):
+            raise ValueError(f"bad receive_net {self.receive_net!r}")
+        if self.flit_bits <= 0:
+            raise ValueError("flit_bits must be positive")
+
+    @property
+    def topology(self) -> MeshTopology:
+        return MeshTopology(width=self.mesh_width, cluster_width=self.cluster_width)
+
+    @property
+    def n_cores(self) -> int:
+        return self.mesh_width * self.mesh_width
+
+    def scaled(self, mesh_width: int, cluster_width: int = 4, **overrides) -> "SystemConfig":
+        """A smaller chip with caches shrunk in proportion, for tests.
+
+        Keeping cache capacity per core fixed while shrinking the core
+        count (and trace lengths) would make everything fit and no
+        traffic flow; scaling keeps miss behaviour representative.
+        """
+        scale = max(1, (32 * 32) // (mesh_width * mesh_width))
+        return replace(
+            self,
+            mesh_width=mesh_width,
+            cluster_width=cluster_width,
+            l1_sets=max(4, self.l1_sets // scale),
+            l2_sets=max(8, self.l2_sets // scale),
+            **overrides,
+        )
+
+
+def make_routing(config: SystemConfig) -> RoutingPolicy:
+    """The unicast routing policy for a hybrid-network config."""
+    if config.network == "atac":
+        return ClusterRouting()
+    return DistanceRouting(config.rthres)
+
+
+def make_network(config: SystemConfig) -> Network:
+    """Instantiate the configured network architecture."""
+    topo = config.topology
+    if config.network == "emesh-pure":
+        return EMeshPure(topo, flit_bits=config.flit_bits)
+    if config.network == "emesh-bcast":
+        return EMeshBCast(topo, flit_bits=config.flit_bits)
+    receive = "bnet" if config.network == "atac" else config.receive_net
+    return AtacNetwork(
+        topo,
+        flit_bits=config.flit_bits,
+        routing=make_routing(config),
+        receive_net=receive,
+        starnets_per_cluster=config.starnets_per_cluster,
+    )

@@ -1,0 +1,102 @@
+"""In-order single-issue core model (Table I).
+
+Each core replays its :class:`repro.workloads.trace.CoreTrace`:
+
+* compute ops retire one instruction per cycle,
+* memory ops go through the cache controller and **block** the core on
+  a miss until the coherence protocol delivers the line -- network
+  latency (and the back-pressure it implies) directly stretches the
+  core's execution, which is the property the paper's methodology
+  exists to capture,
+* barrier ops park the core at the barrier manager.
+
+The core drives itself: ``start()`` begins execution and the core
+re-schedules its own continuations through the event queue as replies
+arrive.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.l2controller import L2Controller
+from repro.sim.barrier import BarrierManager
+from repro.sim.eventq import EventQueue
+from repro.workloads.trace import BarrierOp, ComputeOp, CoreTrace, MemoryOp
+
+
+class CoreModel:
+    """One in-order core executing a trace."""
+
+    __slots__ = (
+        "core", "trace", "cache", "barriers", "eventq",
+        "_pc", "instructions", "done_at", "stalled_cycles", "_issue_time",
+    )
+
+    def __init__(
+        self,
+        core: int,
+        trace: CoreTrace,
+        cache: L2Controller,
+        barriers: BarrierManager,
+        eventq: EventQueue,
+    ) -> None:
+        if trace.core != core:
+            raise ValueError(
+                f"trace for core {trace.core} assigned to core {core}"
+            )
+        self.core = core
+        self.trace = trace
+        self.cache = cache
+        self.barriers = barriers
+        self.eventq = eventq
+        self._pc = 0
+        self.instructions = 0
+        self.done_at: int | None = None
+        self.stalled_cycles = 0
+        self._issue_time = 0
+
+    @property
+    def done(self) -> bool:
+        return self.done_at is not None
+
+    def start(self) -> None:
+        """Schedule the core's first instruction at t=0."""
+        self.eventq.schedule(0, self._run)
+
+    # ------------------------------------------------------------------
+    def _run(self, now: int) -> None:
+        """Execute ops until the next blocking point."""
+        ops = self.trace.ops
+        while self._pc < len(ops):
+            op = ops[self._pc]
+            self._pc += 1
+            if isinstance(op, ComputeOp):
+                self.instructions += op.cycles
+                self.cache.fetch_instruction()
+                now += op.cycles
+                continue
+            if isinstance(op, MemoryOp):
+                self.instructions += 1
+                self.cache.fetch_instruction()
+                self._issue_time = now
+                done = self.cache.access(op.address, op.is_write, now, self._resume)
+                if done is None:
+                    return  # blocked on a miss; _resume() continues
+                now = done
+                continue
+            # BarrierOp
+            self.instructions += 1
+            self.barriers.arrive(op.barrier_id, now, self._run)
+            return
+        self.done_at = now
+
+    def _resume(self, now: int) -> None:
+        """Miss completed: account the stall and continue."""
+        self.stalled_cycles += now - self._issue_time
+        self._run(now)
+
+    # ------------------------------------------------------------------
+    def ipc(self) -> float:
+        """Retired instructions per cycle over the core's own runtime."""
+        if self.done_at is None or self.done_at == 0:
+            return 0.0
+        return self.instructions / self.done_at

@@ -1,0 +1,59 @@
+"""Deterministic discrete-event engine.
+
+A single binary-heap event queue drives cores, cache controllers,
+directories and memory controllers.  Ties are broken by insertion
+order, so runs are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback)`` events."""
+
+    __slots__ = ("_heap", "_seq", "now", "events_processed")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> None:
+        """Run ``callback(time)`` at the given simulation time.
+
+        Scheduling in the past is an error -- it would mean a causality
+        violation in a model.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at t={time}, current time is {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the final simulation time.
+
+        ``max_events`` is a safety valve for tests; exceeding it raises
+        ``RuntimeError`` (likely a protocol livelock).
+        """
+        processed = 0
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed > max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events}); "
+                    "possible protocol livelock"
+                )
+        return self.now

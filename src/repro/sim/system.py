@@ -1,0 +1,239 @@
+"""The manycore chip: cores + caches + directories + network, one clock.
+
+:class:`ManycoreSystem` is the "fabric" the coherence controllers talk
+through.  Every protocol message is scheduled onto the event queue at
+its logical send time, so the (stateful, reservation-based) network
+model always sees time-ordered sends even though cores sprint through
+compute phases inline -- the same loose-synchronization trick Graphite
+uses, with the network as the serialization point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.coherence.directory import DirectoryController, Protocol
+from repro.coherence.l2controller import CacheCounters, L2Controller
+from repro.coherence.memory import MemoryController, MemoryTiming
+from repro.coherence.messages import CoherenceMsg, MsgType
+from repro.coherence.sequencing import DirectorySequencer
+from repro.network.atac import AtacNetwork
+from repro.network.types import BROADCAST, Packet
+from repro.sim.barrier import BarrierManager
+from repro.sim.config import SystemConfig, make_network
+from repro.sim.core_model import CoreModel
+from repro.sim.eventq import EventQueue
+from repro.sim.results import RunResult
+from repro.workloads.trace import CoreTrace
+
+
+class ManycoreSystem:
+    """One configured chip, ready to run one workload."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.topology = config.topology
+        self.network = make_network(config)
+        self.eventq = EventQueue()
+
+        topo = self.topology
+        self.compute_cores = topo.compute_cores()
+        if not self.compute_cores:
+            raise ValueError(
+                "degenerate topology: every core slot is a memory "
+                "controller (cluster_width=1); use clusters of >= 4 cores"
+            )
+        self._compute_set = set(self.compute_cores)
+        self.memctrl_positions = topo.memctrl_cores()
+        self._cluster_memctrl = {
+            c: topo.memctrl_core(c) for c in range(topo.n_clusters)
+        }
+
+        mem_timing = MemoryTiming(
+            latency_cycles=config.mem_latency,
+            bytes_per_cycle=config.mem_bytes_per_cycle,
+        )
+        self.memctrls = {
+            pos: MemoryController(pos, self, mem_timing)
+            for pos in self.memctrl_positions
+        }
+
+        self.sequencer = DirectorySequencer(topo.n_clusters)
+        silent = config.protocol is Protocol.DIRKB
+        self.caches: dict[int, L2Controller] = {}
+        self.directories: dict[int, DirectoryController] = {}
+        for core in self.compute_cores:
+            self.caches[core] = L2Controller(
+                core,
+                self,
+                l1_sets=config.l1_sets,
+                l1_ways=config.l1_ways,
+                l2_sets=config.l2_sets,
+                l2_ways=config.l2_ways,
+                l1_hit_latency=config.l1_hit_latency,
+                l2_hit_latency=config.l2_hit_latency,
+                fill_latency=config.fill_latency,
+                n_slices=topo.n_clusters,
+                silent_clean_evictions=silent,
+                sequencing=config.sequencing,
+            )
+            self.directories[core] = DirectoryController(
+                core,
+                self,
+                protocol=config.protocol,
+                hardware_sharers=config.hardware_sharers,
+                sequencer=self.sequencer if config.sequencing else None,
+                slice_id=topo.cluster_of(core),
+                dir_latency=config.dir_latency,
+            )
+        self.cores: dict[int, CoreModel] = {}
+        self.barriers: BarrierManager | None = None
+
+    # ------------------------------------------------------------------
+    # Fabric interface used by the coherence controllers
+    # ------------------------------------------------------------------
+    def home_of(self, address: int) -> int:
+        """Static home core for a line (directory distributed over all
+        compute cores, Section III-B)."""
+        return self.compute_cores[address % len(self.compute_cores)]
+
+    def memctrl_for(self, core: int) -> int:
+        """The memory controller nearest a home core: its own cluster's."""
+        return self._cluster_memctrl[self.topology.cluster_of(core)]
+
+    def slice_of_home(self, core: int) -> int:
+        """Directory slice (= cluster) of a home core, for seq numbers."""
+        return self.topology.cluster_of(core)
+
+    @property
+    def all_cores_ack_broadcasts(self) -> bool:
+        """Dir_kB collects acknowledgements from every core."""
+        return self.config.protocol is Protocol.DIRKB
+
+    def n_broadcast_ackers(self, home: int) -> int:
+        """Cores that will acknowledge a Dir_kB broadcast from ``home``:
+        every compute core (including the home itself, whose own L2
+        receives the invalidation by local loopback)."""
+        return len(self.compute_cores)
+
+    # ------------------------------------------------------------------
+    def send_msg(self, msg: CoherenceMsg, time: int) -> None:
+        """Queue a protocol message for network injection at ``time``."""
+        self.eventq.schedule(max(time, self.eventq.now), lambda t: self._inject(msg, t))
+
+    def _inject(self, msg: CoherenceMsg, now: int) -> None:
+        if msg.is_broadcast:
+            pkt = Packet(src=msg.sender, dst=BROADCAST,
+                         size_bits=msg.size_bits, time=now)
+            deliveries = self.network.send(pkt)
+            for core, arrival in deliveries:
+                if core in self._compute_set:
+                    self.eventq.schedule(
+                        arrival, self._make_handler(self.caches[core], msg)
+                    )
+            # Local loopback: the home's own L2 must also see the
+            # invalidation (the network never delivers to the sender).
+            if msg.sender in self._compute_set:
+                self.eventq.schedule(
+                    now + 1, self._make_handler(self.caches[msg.sender], msg)
+                )
+            return
+        pkt = Packet(src=msg.sender, dst=msg.dest,
+                     size_bits=msg.size_bits, time=now)
+        [(core, arrival)] = self.network.send(pkt)
+        handler = self._handler_for(core, msg)
+        self.eventq.schedule(arrival, self._make_handler(handler, msg))
+
+    def _handler_for(self, core: int, msg: CoherenceMsg):
+        if msg.mtype in (MsgType.MEM_READ, MsgType.MEM_WRITE):
+            return self.memctrls[core]
+        if msg.mtype in (
+            MsgType.SH_REQ, MsgType.EX_REQ, MsgType.EVICT_NOTIFY,
+            MsgType.DIRTY_WB, MsgType.INV_ACK, MsgType.FLUSH_REP,
+            MsgType.WB_REP, MsgType.MEM_DATA, MsgType.MEM_WRITE_ACK,
+        ):
+            return self.directories[core]
+        return self.caches[core]
+
+    @staticmethod
+    def _make_handler(target, msg: CoherenceMsg):
+        return lambda t: target.handle(msg, t)
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+    def run(self, traces: dict[int, CoreTrace], app: str = "workload",
+            max_events: int | None = None) -> RunResult:
+        """Execute one trace per compute core to completion."""
+        missing = self._compute_set - set(traces)
+        if missing:
+            raise ValueError(
+                f"{len(missing)} compute cores have no trace "
+                f"(e.g. core {min(missing)})"
+            )
+        extra = set(traces) - self._compute_set
+        if extra:
+            raise ValueError(
+                f"traces supplied for non-compute cores: {sorted(extra)[:4]}"
+            )
+        self.barriers = BarrierManager(len(self.compute_cores), self.eventq)
+        for core in self.compute_cores:
+            cm = CoreModel(
+                core, traces[core], self.caches[core], self.barriers, self.eventq
+            )
+            self.cores[core] = cm
+            cm.start()
+        self.eventq.run(max_events=max_events)
+        not_done = [c for c, cm in self.cores.items() if not cm.done]
+        if not_done:
+            raise RuntimeError(
+                f"deadlock: {len(not_done)} cores never finished "
+                f"(e.g. core {not_done[0]}); event queue drained"
+            )
+        return self._collect(app)
+
+    def _collect(self, app: str) -> RunResult:
+        completion = max(cm.done_at for cm in self.cores.values())
+        counters = CacheCounters()
+        for cc in self.caches.values():
+            for f in fields(CacheCounters):
+                setattr(
+                    counters, f.name,
+                    getattr(counters, f.name) + getattr(cc.counters, f.name),
+                )
+        dir_lookups = sum(d.stats.lookups for d in self.directories.values())
+        dir_updates = sum(d.stats.updates for d in self.directories.values())
+        dir_inv_u = sum(
+            d.stats.invalidations_unicast for d in self.directories.values()
+        )
+        dir_inv_b = sum(
+            d.stats.invalidations_broadcast for d in self.directories.values()
+        )
+        onet_util = 0.0
+        if isinstance(self.network, AtacNetwork) and completion > 0:
+            onet_util = self.network.onet_utilization(completion)
+        per_core = [self.cores[c].instructions for c in self.compute_cores]
+        return RunResult(
+            app=app,
+            network=self.network.name,
+            completion_cycles=completion,
+            n_cores=self.topology.n_cores,
+            n_compute_cores=len(self.compute_cores),
+            total_instructions=sum(per_core),
+            per_core_instructions=per_core,
+            stalled_cycles=sum(cm.stalled_cycles for cm in self.cores.values()),
+            network_stats=self.network.stats,
+            cache_counters=counters,
+            dir_lookups=dir_lookups,
+            dir_updates=dir_updates,
+            dir_inv_unicast=dir_inv_u,
+            dir_inv_broadcast=dir_inv_b,
+            mem_reads=sum(m.reads for m in self.memctrls.values()),
+            mem_writes=sum(m.writes for m in self.memctrls.values()),
+            barriers_completed=self.barriers.barriers_completed,
+            freq_hz=self.config.freq_hz,
+            onet_utilization=onet_util,
+            flit_bits=self.config.flit_bits,
+            hardware_sharers=self.config.hardware_sharers,
+            protocol=self.config.protocol.value,
+        )

@@ -1,0 +1,73 @@
+"""The four ATAC+ technology scenarios of paper Table IV.
+
+============================  ==============  ============  ===========
+Flavor                        Optical devices Laser         Rings
+============================  ==============  ============  ===========
+ATAC+(Ideal)                  Ideal (lossless) Power-gated  Athermal
+ATAC+                         Practical        Power-gated  Athermal
+ATAC+(RingTuned)              Practical        Power-gated  Tuned
+ATAC+(Cons)                   Practical        Standard     Tuned
+============================  ==============  ============  ===========
+
+A scenario is pure *energy post-processing*: all four flavors share one
+performance run (the network behaves identically; only the laser/ring
+power accounting differs), exactly as in the paper's Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.photonics import PhotonicParams
+
+
+@dataclass(frozen=True)
+class TechScenario:
+    """One row of Table IV.
+
+    Attributes
+    ----------
+    name:
+        Paper's label for the flavor.
+    ideal_devices:
+        Lossless optics and a 100 %-efficient laser.
+    laser_power_gated:
+        On-chip Ge lasers that switch on/off (and re-bias between
+        unicast and broadcast power) within 1 ns.  Without this the
+        laser burns worst-case broadcast power continuously.
+    athermal_rings:
+        Rings needing no thermal tuning.  Without this every ring burns
+        its tuning power continuously ("Ring Heating").
+    """
+
+    name: str
+    ideal_devices: bool
+    laser_power_gated: bool
+    athermal_rings: bool
+
+    def photonic_params(self, base: PhotonicParams | None = None) -> PhotonicParams:
+        """Resolve the device parameter set this scenario uses."""
+        base = base if base is not None else PhotonicParams()
+        base.validate()
+        return base.ideal() if self.ideal_devices else base
+
+
+SCENARIO_IDEAL = TechScenario(
+    name="ATAC+(Ideal)", ideal_devices=True, laser_power_gated=True,
+    athermal_rings=True,
+)
+SCENARIO_ATACP = TechScenario(
+    name="ATAC+", ideal_devices=False, laser_power_gated=True,
+    athermal_rings=True,
+)
+SCENARIO_RINGTUNED = TechScenario(
+    name="ATAC+(RingTuned)", ideal_devices=False, laser_power_gated=True,
+    athermal_rings=False,
+)
+SCENARIO_CONS = TechScenario(
+    name="ATAC+(Cons)", ideal_devices=False, laser_power_gated=False,
+    athermal_rings=False,
+)
+
+#: Table IV, in the paper's presentation order.
+ALL_SCENARIOS = (SCENARIO_IDEAL, SCENARIO_ATACP, SCENARIO_RINGTUNED, SCENARIO_CONS)

@@ -1,0 +1,287 @@
+"""Protocol-level tests: MSI transitions, ACKwise vs Dir_kB, races.
+
+Each test drives individual accesses through a 16-core chip
+(tests/coherence/helpers.py) and inspects the directory and cache state
+between accesses.
+"""
+
+import pytest
+
+from repro.coherence.directory import DirState, Protocol
+from tests.coherence.helpers import (
+    CacheState,
+    addr_homed_at,
+    dir_entry,
+    l2_state,
+    read,
+    tiny_system,
+    write,
+)
+
+
+class TestBasicMSI:
+    def test_read_installs_shared(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        read(s, core, 100)
+        assert l2_state(s, core, 100) is CacheState.SHARED
+        e = dir_entry(s, 100)
+        assert e.state is DirState.SHARED
+        assert e.sharers == [core]
+
+    def test_write_installs_modified(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        write(s, core, 100)
+        assert l2_state(s, core, 100) is CacheState.MODIFIED
+        e = dir_entry(s, 100)
+        assert e.state is DirState.MODIFIED
+        assert e.owner == core
+
+    def test_second_reader_added_to_sharers(self):
+        s = tiny_system()
+        a, b = s.compute_cores[0], s.compute_cores[1]
+        read(s, a, 100)
+        read(s, b, 100)
+        assert set(dir_entry(s, 100).sharers) == {a, b}
+
+    def test_read_hit_after_fill(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        t1 = read(s, core, 100)
+        t_start = s.eventq.now
+        t2 = read(s, core, 100)
+        assert t2 - t_start <= 2  # L1 hit
+        assert t1 > 10            # the miss was expensive
+
+    def test_write_hit_in_modified(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        write(s, core, 100)
+        t_start = s.eventq.now
+        t = write(s, core, 100)
+        assert t - t_start <= 2
+
+
+class TestInvalidation:
+    def test_write_invalidates_readers_unicast(self):
+        """Within-k sharers: unicast invalidations, not broadcast."""
+        s = tiny_system(k=2)
+        a, b, w = s.compute_cores[:3]
+        read(s, a, 100)
+        read(s, b, 100)
+        write(s, w, 100)
+        assert l2_state(s, a, 100) is CacheState.INVALID
+        assert l2_state(s, b, 100) is CacheState.INVALID
+        assert l2_state(s, w, 100) is CacheState.MODIFIED
+        home = s.home_of(100)
+        assert s.directories[home].stats.invalidations_unicast == 2
+        assert s.directories[home].stats.invalidations_broadcast == 0
+
+    def test_sharer_overflow_broadcasts(self):
+        """More than k sharers -> global bit -> broadcast invalidate."""
+        s = tiny_system(k=2)
+        readers = s.compute_cores[:4]
+        for r in readers:
+            read(s, r, 100)
+        e = dir_entry(s, 100)
+        assert e.global_bit
+        assert e.count == 4
+        w = s.compute_cores[5]
+        write(s, w, 100)
+        home = s.home_of(100)
+        assert s.directories[home].stats.invalidations_broadcast == 1
+        for r in readers:
+            assert l2_state(s, r, 100) is CacheState.INVALID
+
+    def test_ackwise_acks_only_from_sharers(self):
+        """ACKwise: exactly `count` acks collected for a broadcast."""
+        s = tiny_system(k=2)
+        for r in s.compute_cores[:3]:
+            read(s, r, 100)
+        home = s.home_of(100)
+        before = s.directories[home].stats.acks_received
+        write(s, s.compute_cores[4], 100)
+        acks = s.directories[home].stats.acks_received - before
+        assert acks == 3  # only the 3 true sharers
+
+    def test_dirkb_acks_from_everyone(self):
+        """Dir_kB: every compute core acknowledges the broadcast."""
+        s = tiny_system(protocol=Protocol.DIRKB, k=2)
+        for r in s.compute_cores[:3]:
+            read(s, r, 100)
+        home = s.home_of(100)
+        before = s.directories[home].stats.acks_received
+        write(s, s.compute_cores[4], 100)
+        acks = s.directories[home].stats.acks_received - before
+        assert acks == len(s.compute_cores)
+
+    def test_upgrade_from_shared(self):
+        """A sharer writing: its copy upgrades to M after invalidations."""
+        s = tiny_system(k=2)
+        a, b = s.compute_cores[:2]
+        read(s, a, 100)
+        read(s, b, 100)
+        write(s, a, 100)
+        assert l2_state(s, a, 100) is CacheState.MODIFIED
+        assert l2_state(s, b, 100) is CacheState.INVALID
+        e = dir_entry(s, 100)
+        assert e.state is DirState.MODIFIED and e.owner == a
+
+
+class TestOwnershipTransfer:
+    def test_read_of_modified_line_demotes_owner(self):
+        """SH_REQ to an M line: WB_REQ flow, both end shared."""
+        s = tiny_system()
+        w, r = s.compute_cores[:2]
+        write(s, w, 100)
+        read(s, r, 100)
+        assert l2_state(s, w, 100) is CacheState.SHARED
+        assert l2_state(s, r, 100) is CacheState.SHARED
+        e = dir_entry(s, 100)
+        assert e.state is DirState.SHARED
+        assert set(e.sharers) == {w, r}
+
+    def test_write_of_modified_line_flushes_owner(self):
+        """EX_REQ to an M line: FLUSH flow, ownership moves."""
+        s = tiny_system()
+        w1, w2 = s.compute_cores[:2]
+        write(s, w1, 100)
+        write(s, w2, 100)
+        assert l2_state(s, w1, 100) is CacheState.INVALID
+        assert l2_state(s, w2, 100) is CacheState.MODIFIED
+        assert dir_entry(s, 100).owner == w2
+
+    def test_migratory_sharing_chain(self):
+        """W1 -> W2 -> W3 write chain keeps exactly one owner."""
+        s = tiny_system()
+        writers = s.compute_cores[:3]
+        for w in writers:
+            write(s, w, 100)
+        assert dir_entry(s, 100).owner == writers[-1]
+        for w in writers[:-1]:
+            assert l2_state(s, w, 100) is CacheState.INVALID
+
+
+class TestEvictions:
+    def _fill_set(self, s, core, addr, n):
+        """Issue reads that all land in addr's L2 set to force eviction."""
+        n_compute = len(s.compute_cores)
+        l2 = s.caches[core].l2
+        conflicting = []
+        candidate = addr
+        while len(conflicting) < n:
+            candidate += n_compute  # same home, walks the sets
+            if candidate % l2.n_sets == addr % l2.n_sets:
+                conflicting.append(candidate)
+        for c in conflicting:
+            read(s, core, c)
+        return conflicting
+
+    def test_clean_eviction_notifies_home_ackwise(self):
+        s = tiny_system(k=2)
+        core = s.compute_cores[0]
+        read(s, core, 100)
+        self._fill_set(s, core, 100, s.caches[core].l2.associativity)
+        assert l2_state(s, core, 100) is CacheState.INVALID
+        # the home no longer lists us (entry reset once sharers empty)
+        e = dir_entry(s, 100)
+        assert core not in e.sharers
+
+    def test_clean_eviction_silent_dirkb(self):
+        """Dir_kB evicts silently: the home still lists the evictor."""
+        s = tiny_system(protocol=Protocol.DIRKB, k=2)
+        core = s.compute_cores[0]
+        read(s, core, 100)
+        self._fill_set(s, core, 100, s.caches[core].l2.associativity)
+        assert l2_state(s, core, 100) is CacheState.INVALID
+        assert core in dir_entry(s, 100).sharers  # stale, by design
+
+    def test_dirty_eviction_writes_back(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        write(s, core, 100)
+        self._fill_set(s, core, 100, s.caches[core].l2.associativity)
+        assert l2_state(s, core, 100) is CacheState.INVALID
+        e = dir_entry(s, 100)
+        assert e.state is DirState.UNCACHED
+        assert not s.caches[core].wb_buffer  # WB_ACK freed the buffer
+        # memory received the data
+        assert sum(m.writes for m in s.memctrls.values()) >= 1
+
+    def test_line_refetchable_after_dirty_eviction(self):
+        s = tiny_system()
+        core = s.compute_cores[0]
+        write(s, core, 100)
+        self._fill_set(s, core, 100, s.caches[core].l2.associativity)
+        read(s, core, 100)
+        assert l2_state(s, core, 100) is CacheState.SHARED
+
+
+class TestReadWriteSemantics:
+    def test_data_flows_through_protocol(self):
+        """Reader after writer must see the line via the coherence path
+        (flush/writeback), never a stale memory copy: verified by the
+        WB_REQ/FLUSH_REQ counters."""
+        s = tiny_system()
+        w, r = s.compute_cores[:2]
+        write(s, w, 100)
+        mem_reads_before = sum(m.reads for m in s.memctrls.values())
+        read(s, r, 100)
+        # the data came from the owner, not memory
+        assert sum(m.reads for m in s.memctrls.values()) == mem_reads_before
+
+    def test_independent_lines_dont_interact(self):
+        s = tiny_system()
+        a, b = s.compute_cores[:2]
+        write(s, a, 100)
+        write(s, b, 101)
+        assert l2_state(s, a, 100) is CacheState.MODIFIED
+        assert l2_state(s, b, 101) is CacheState.MODIFIED
+
+    def test_many_lines_many_cores(self):
+        """Mixed workload across all cores leaves a consistent system:
+        every directory entry's sharer/owner state matches the caches."""
+        s = tiny_system(k=2)
+        cores = s.compute_cores
+        for i, core in enumerate(cores):
+            read(s, core, 200 + (i % 5))
+        for i, core in enumerate(cores[:6]):
+            write(s, core, 210 + i)
+        # global consistency check
+        for home, d in s.directories.items():
+            for addr, e in d.entries.items():
+                if e.state is DirState.MODIFIED:
+                    assert l2_state(s, e.owner, addr) is CacheState.MODIFIED
+                elif e.state is DirState.SHARED and not e.global_bit:
+                    for sh in e.sharers:
+                        assert l2_state(s, sh, addr) is CacheState.SHARED
+
+
+class TestSingleWriterInvariant:
+    def test_never_two_modified_copies(self):
+        """The MSI invariant, across an adversarial access pattern."""
+        s = tiny_system(k=2)
+        cores = s.compute_cores
+        pattern = [
+            (cores[0], 50, True), (cores[1], 50, False), (cores[2], 50, True),
+            (cores[3], 50, False), (cores[0], 50, False), (cores[1], 50, True),
+            (cores[4], 50, True), (cores[5], 50, False),
+        ]
+        for core, addr, is_wr in pattern:
+            if is_wr:
+                write(s, core, addr)
+            else:
+                read(s, core, addr)
+            owners = [
+                c for c in cores
+                if l2_state(s, c, addr) is CacheState.MODIFIED
+            ]
+            assert len(owners) <= 1
+            if owners:
+                # nobody else may even hold it shared
+                holders = [
+                    c for c in cores
+                    if l2_state(s, c, addr) is not CacheState.INVALID
+                ]
+                assert holders == owners

@@ -1,0 +1,119 @@
+"""Hypothesis stress tests: random access patterns, global invariants.
+
+These hammer the full protocol stack (both protocols, two networks)
+with arbitrary interleavings and check the invariants that define
+coherence:
+
+* **single writer**: at most one MODIFIED copy of a line, and never
+  alongside SHARED copies;
+* **directory/cache agreement**: the home's stable state matches the
+  caches (up to Dir_kB's deliberately-stale silent-eviction pointers);
+* **liveness**: every access completes (no deadlock) for every
+  generated pattern.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.coherence.cache import CacheState
+from repro.coherence.directory import DirState, Protocol
+from tests.coherence.helpers import access, l2_state, tiny_system
+
+# (core_index, line, is_write) over a small hot line set to force races
+op_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 11),      # compute-core index (12 compute cores)
+        st.integers(100, 104),   # 5 contended lines
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_pattern(system, ops):
+    for core_idx, line, is_write in ops:
+        core = system.compute_cores[core_idx]
+        t = access(system, core, line, is_write)
+        assert t >= 0
+
+
+def check_invariants(system):
+    cores = system.compute_cores
+    lines = range(100, 105)
+    for line in lines:
+        owners = [c for c in cores if l2_state(system, c, line) is CacheState.MODIFIED]
+        sharers = [c for c in cores if l2_state(system, c, line) is CacheState.SHARED]
+        assert len(owners) <= 1, f"two owners for line {line}"
+        if owners:
+            assert not sharers, f"owner + sharers coexist for line {line}"
+        home = system.home_of(line)
+        entry = system.directories[home].entries.get(line)
+        if entry is None:
+            assert not owners and not sharers
+            continue
+        assert line not in system.directories[home].busy
+        if entry.state is DirState.MODIFIED:
+            assert owners == [entry.owner]
+        elif entry.state is DirState.SHARED:
+            assert not owners
+            if system.config.protocol is Protocol.ACKWISE and not entry.global_bit:
+                # ACKwise's explicit evictions keep pointers exact
+                assert set(entry.sharers) == set(sharers), line
+            else:
+                # Dir_kB pointers may be stale (silent evictions), and
+                # global-mode ACKwise only counts -- but every real
+                # sharer must be covered by the home's knowledge
+                if not entry.global_bit:
+                    assert set(sharers) <= set(entry.sharers)
+        else:
+            assert not owners and not sharers
+
+
+class TestRandomPatterns:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_strategy)
+    def test_ackwise_on_mesh(self, ops):
+        s = tiny_system(network="emesh-bcast", protocol=Protocol.ACKWISE, k=2)
+        run_pattern(s, ops)
+        check_invariants(s)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_strategy)
+    def test_ackwise_on_atacp(self, ops):
+        s = tiny_system(network="atac+", protocol=Protocol.ACKWISE, k=2,
+                        rthres=3)
+        run_pattern(s, ops)
+        check_invariants(s)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_strategy)
+    def test_dirkb_on_atacp(self, ops):
+        s = tiny_system(network="atac+", protocol=Protocol.DIRKB, k=2,
+                        rthres=3)
+        run_pattern(s, ops)
+        check_invariants(s)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_strategy, seed=st.integers(0, 3))
+    def test_protocols_agree_on_final_ownership(self, ops, seed):
+        """Both protocols must leave the same final owner for every
+        line (they implement the same MSI semantics)."""
+        del seed
+        finals = []
+        for proto in (Protocol.ACKWISE, Protocol.DIRKB):
+            s = tiny_system(network="emesh-bcast", protocol=proto, k=2)
+            run_pattern(s, ops)
+            state = {}
+            for line in range(100, 105):
+                owners = [
+                    c for c in s.compute_cores
+                    if l2_state(s, c, line) is CacheState.MODIFIED
+                ]
+                state[line] = owners[0] if owners else None
+            finals.append(state)
+        assert finals[0] == finals[1]

@@ -1,0 +1,126 @@
+"""Unit tests for the Section IV-C1 sequence-number mechanism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.sequencing import (
+    SEQ_MOD,
+    DirectorySequencer,
+    SequenceTracker,
+    seq_after,
+)
+
+
+class TestSeqAfter:
+    def test_simple_order(self):
+        assert seq_after(5, 3)
+        assert not seq_after(3, 5)
+
+    def test_equal_is_not_after(self):
+        assert not seq_after(7, 7)
+
+    def test_wraparound(self):
+        """TCP-style modular comparison across the 16-bit wrap."""
+        assert seq_after(2, SEQ_MOD - 3)
+        assert not seq_after(SEQ_MOD - 3, 2)
+
+    @given(base=st.integers(0, SEQ_MOD - 1), delta=st.integers(1, 2**14))
+    def test_after_within_window(self, base, delta):
+        later = (base + delta) % SEQ_MOD
+        assert seq_after(later, base)
+        assert not seq_after(base, later)
+
+
+class TestDirectorySequencer:
+    def test_broadcast_increments(self):
+        s = DirectorySequencer(4)
+        assert s.next_broadcast_seq(0) == 1
+        assert s.next_broadcast_seq(0) == 2
+
+    def test_slices_independent(self):
+        s = DirectorySequencer(4)
+        s.next_broadcast_seq(0)
+        assert s.current_seq(1) == 0
+
+    def test_unicast_carries_latest_broadcast(self):
+        """'The unicasted coherence messages from the directory carry
+        the same sequence number as the previous broadcast.'"""
+        s = DirectorySequencer(2)
+        s.next_broadcast_seq(1)
+        s.next_broadcast_seq(1)
+        assert s.current_seq(1) == 2
+
+    def test_wraps_at_2_16(self):
+        s = DirectorySequencer(1)
+        s._counters[0] = SEQ_MOD - 1
+        assert s.next_broadcast_seq(0) == 0
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ValueError):
+            DirectorySequencer(0)
+
+
+class TestSequenceTracker:
+    def test_fresh_tracker_sees_nothing_early(self):
+        t = SequenceTracker(4)
+        assert not t.unicast_is_early(0, 0)
+        assert not t.unicast_is_early(0, None)
+
+    def test_unicast_ahead_of_broadcast_detected(self):
+        """The paper's reorder case: a unicast stamped with a broadcast
+        we have not processed must be buffered."""
+        t = SequenceTracker(4)
+        assert t.unicast_is_early(2, 1)  # bcast #1 not yet seen
+
+    def test_unicast_at_current_seq_not_early(self):
+        t = SequenceTracker(4)
+        t.note_broadcast(2, 1)
+        assert not t.unicast_is_early(2, 1)
+
+    def test_note_broadcast_is_monotonic(self):
+        t = SequenceTracker(1)
+        t.note_broadcast(0, 5)
+        t.note_broadcast(0, 3)  # late/duplicate: must not regress
+        assert t.last_seen(0) == 5
+
+    def test_broadcast_stale_iff_reply_covers_it(self):
+        """'If it did not arrive out of order, the invalidate broadcast
+        is simply dropped.'  Stale <=> reply seq >= broadcast seq."""
+        t = SequenceTracker(1)
+        assert t.broadcast_is_stale(0, bcast_seq=4, reply_seq=4)
+        assert t.broadcast_is_stale(0, bcast_seq=4, reply_seq=6)
+        assert not t.broadcast_is_stale(0, bcast_seq=7, reply_seq=6)
+
+    def test_slices_tracked_independently(self):
+        t = SequenceTracker(2)
+        t.note_broadcast(0, 9)
+        assert t.unicast_is_early(1, 1)
+        assert not t.unicast_is_early(0, 9)
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ValueError):
+            SequenceTracker(0)
+
+
+class TestEndToEndOrdering:
+    """Sequencer + tracker together implement per-slice FIFO recovery."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_bcasts=st.integers(1, 20))
+    def test_in_order_delivery_never_buffers(self, n_bcasts):
+        seq, trk = DirectorySequencer(1), SequenceTracker(1)
+        for _ in range(n_bcasts):
+            s = seq.next_broadcast_seq(0)
+            trk.note_broadcast(0, s)
+            # a unicast sent after this broadcast, delivered after it
+            assert not trk.unicast_is_early(0, seq.current_seq(0))
+
+    def test_reordered_delivery_buffers_then_releases(self):
+        seq, trk = DirectorySequencer(1), SequenceTracker(1)
+        b = seq.next_broadcast_seq(0)          # directory: bcast #1 ...
+        u = seq.current_seq(0)                 # ... then a unicast
+        # network delivers the unicast first:
+        assert trk.unicast_is_early(0, u)
+        # the broadcast lands; the unicast is now releasable:
+        trk.note_broadcast(0, b)
+        assert not trk.unicast_is_early(0, u)

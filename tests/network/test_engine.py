@@ -1,0 +1,140 @@
+"""Unit tests for the resource-reservation timing engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.engine import MeshTiming, MultiPortResource, PortResource
+from repro.network.stats import NetworkStats
+
+
+class TestPortResource:
+    def test_uncontended_starts_immediately(self):
+        p = PortResource()
+        assert p.reserve(10, 3) == 10
+        assert p.free_at == 13
+
+    def test_contended_waits(self):
+        p = PortResource()
+        p.reserve(0, 10)
+        assert p.reserve(5, 2) == 10
+
+    def test_busy_accounting(self):
+        p = PortResource()
+        p.reserve(0, 4)
+        p.reserve(0, 6)
+        assert p.busy_cycles == 10
+
+    def test_rejects_negative(self):
+        p = PortResource()
+        with pytest.raises(ValueError):
+            p.reserve(-1, 1)
+        with pytest.raises(ValueError):
+            p.reserve(0, -1)
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 10)), min_size=1, max_size=20))
+    def test_reservations_never_overlap(self, reqs):
+        """Property: sequential reservations form disjoint intervals."""
+        reqs.sort()  # engine requires time-ordered requests
+        p = PortResource()
+        intervals = []
+        for earliest, dur in reqs:
+            start = p.reserve(earliest, dur)
+            assert start >= earliest
+            intervals.append((start, start + dur))
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+
+class TestMultiPortResource:
+    def test_two_servers_run_in_parallel(self):
+        m = MultiPortResource(2)
+        assert m.reserve(0, 10) == 0
+        assert m.reserve(0, 10) == 0  # second server
+        assert m.reserve(0, 10) == 10  # now queued
+
+    def test_single_server_equals_port(self):
+        m = MultiPortResource(1)
+        m.reserve(0, 5)
+        assert m.reserve(0, 5) == 5
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            MultiPortResource(0)
+
+    def test_picks_earliest_free(self):
+        m = MultiPortResource(2)
+        m.reserve(0, 100)
+        m.reserve(0, 1)
+        # server 1 frees at t=1, so next starts there
+        assert m.reserve(0, 5) == 1
+
+
+class TestMeshTiming:
+    def test_table_i_defaults(self):
+        t = MeshTiming()
+        assert t.router_delay == 1
+        assert t.link_delay == 1
+        assert t.hop_latency == 2
+
+
+class TestNetworkStats:
+    def test_latency_accumulation(self):
+        s = NetworkStats()
+        s.record_latency(10)
+        s.record_latency(20)
+        assert s.mean_latency == 15
+        assert s.latency_max == 20
+
+    def test_mean_latency_empty(self):
+        assert NetworkStats().mean_latency == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkStats().record_latency(-1)
+
+    def test_receiver_broadcast_fraction(self):
+        s = NetworkStats()
+        s.received_unicast_flits = 30
+        s.received_broadcast_flits = 70
+        assert s.receiver_broadcast_fraction() == pytest.approx(0.7)
+
+    def test_broadcast_fraction_empty(self):
+        assert NetworkStats().receiver_broadcast_fraction() == 0.0
+
+    def test_offered_load(self):
+        s = NetworkStats()
+        s.injected_flits = 1000
+        assert s.offered_load(cycles=100, n_cores=10) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            s.offered_load(0, 10)
+
+    def test_unicasts_per_broadcast(self):
+        s = NetworkStats()
+        s.onet_unicasts, s.onet_broadcasts = 500, 5
+        assert s.unicasts_per_broadcast() == 100
+        s.onet_broadcasts = 0
+        assert s.unicasts_per_broadcast() == float("inf")
+
+    def test_link_utilization_clamped(self):
+        s = NetworkStats()
+        s.onet_unicast_cycles = 50
+        s.onet_broadcast_cycles = 10
+        assert s.onet_link_utilization(100, 1) == pytest.approx(0.6)
+        assert s.onet_link_utilization(10, 1) == 1.0
+        with pytest.raises(ValueError):
+            s.onet_link_utilization(0, 1)
+
+    def test_merge(self):
+        a, b = NetworkStats(), NetworkStats()
+        a.injected_flits, b.injected_flits = 10, 5
+        a.latency_max, b.latency_max = 7, 9
+        m = a.merged_with(b)
+        assert m.injected_flits == 15
+        assert m.latency_max == 9
+
+    def test_as_dict_roundtrip(self):
+        s = NetworkStats()
+        s.packets_sent = 3
+        d = s.as_dict()
+        assert d["packets_sent"] == 3
+        assert "onet_broadcast_cycles" in d

@@ -1,0 +1,99 @@
+"""Tests for the analytical-contention backend vs the event engine."""
+
+import pytest
+
+from repro.network.mesh import EMeshPure
+from repro.network.queueing import AnalyticMesh, _PortLoad
+from repro.network.topology import MeshTopology
+from repro.network.types import Packet, control_packet
+from repro.workloads.synthetic import SyntheticTraffic, run_load_point
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(width=8, cluster_width=4)
+
+
+class TestPortLoad:
+    def test_idle_port_no_delay(self):
+        p = _PortLoad()
+        assert p.offer(0, 1) < 0.1
+
+    def test_sustained_load_builds_delay(self):
+        p = _PortLoad()
+        delays = [p.offer(t, 1) for t in range(0, 2000)]
+        assert delays[-1] > delays[0]
+        assert delays[-1] > 5  # near-saturation queueing
+
+    def test_delay_decays_when_idle(self):
+        p = _PortLoad()
+        for t in range(500):
+            p.offer(t, 1)
+        busy_delay = p.offer(500, 1)
+        idle_delay = p.offer(5000, 1)  # long gap decays the EWMA
+        assert idle_delay < busy_delay
+
+    def test_delay_bounded_past_saturation(self):
+        p = _PortLoad()
+        for t in range(200):
+            p.offer(t, 10)  # 10x oversubscribed
+        # the rho clamp keeps the estimate finite
+        assert p.offer(200, 10) < 30
+
+
+class TestAnalyticMesh:
+    def test_zero_load_matches_event_engine(self, topo):
+        analytic = AnalyticMesh(topo)
+        engine = EMeshPure(topo)
+        for src, dst in ((0, 63), (5, 12), (33, 40)):
+            [(_, t_a)] = analytic.send(control_packet(src, dst))
+            [(_, t_e)] = engine.send(control_packet(src, dst))
+            assert t_a == t_e, (src, dst)
+
+    def test_latency_grows_with_load(self, topo):
+        latencies = []
+        for load in (0.02, 0.3, 0.8):
+            net = AnalyticMesh(topo)
+            traffic = SyntheticTraffic(64, load=load, broadcast_fraction=0.0, seed=2)
+            pt = run_load_point(net, traffic, cycles=1500, warmup_cycles=400)
+            latencies.append(pt.mean_latency)
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 1.5 * latencies[0]
+
+    def test_agrees_with_engine_at_low_load(self, topo):
+        results = {}
+        for cls in (AnalyticMesh, EMeshPure):
+            net = cls(topo)
+            traffic = SyntheticTraffic(64, load=0.03, broadcast_fraction=0.0, seed=4)
+            pt = run_load_point(net, traffic, cycles=1500, warmup_cycles=400)
+            results[cls.__name__] = pt.mean_latency
+        assert results["AnalyticMesh"] == pytest.approx(
+            results["EMeshPure"], rel=0.25
+        )
+
+    def test_counters_match_engine(self, topo):
+        analytic, engine = AnalyticMesh(topo), EMeshPure(topo)
+        for net in (analytic, engine):
+            net.send(control_packet(0, 63))
+        assert (
+            analytic.stats.router_flit_traversals
+            == engine.stats.router_flit_traversals
+        )
+        assert (
+            analytic.stats.link_flit_traversals
+            == engine.stats.link_flit_traversals
+        )
+
+    def test_broadcast_reaches_everyone(self, topo):
+        from repro.network.types import BROADCAST
+
+        net = AnalyticMesh(topo)
+        deliveries = net.send(Packet(src=0, dst=BROADCAST, size_bits=88))
+        assert {d for d, _ in deliveries} == set(range(1, 64))
+
+    def test_utilization_diagnostic(self, topo):
+        net = AnalyticMesh(topo)
+        assert net.mean_port_utilization() == 0.0
+        traffic = SyntheticTraffic(64, load=0.3, broadcast_fraction=0.0, seed=1)
+        run_load_point(net, traffic, cycles=800, warmup_cycles=200)
+        assert net.mean_port_utilization() > 0.0

@@ -1,0 +1,126 @@
+"""Unit tests for the event queue and barrier manager."""
+
+import pytest
+
+from repro.sim.barrier import BarrierManager
+from repro.sim.eventq import EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda t: log.append((t, "b")))
+        q.schedule(5, lambda t: log.append((t, "a")))
+        q.schedule(20, lambda t: log.append((t, "c")))
+        q.run()
+        assert log == [(5, "a"), (10, "b"), (20, "c")]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, lambda t: log.append("first"))
+        q.schedule(5, lambda t: log.append("second"))
+        q.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(42, lambda t: None)
+        assert q.run() == 42
+        assert q.now == 42
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(10, lambda t: q.schedule(5, lambda t2: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_events_can_schedule_more_events(self):
+        q = EventQueue()
+        log = []
+
+        def chain(t):
+            log.append(t)
+            if t < 30:
+                q.schedule(t + 10, chain)
+
+        q.schedule(10, chain)
+        q.run()
+        assert log == [10, 20, 30]
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever(t):
+            q.schedule(t + 1, forever)
+
+        q.schedule(0, forever)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=100)
+
+    def test_len(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.schedule(1, lambda t: None)
+        assert len(q) == 1
+
+
+class TestBarrierManager:
+    def test_releases_when_all_arrive(self):
+        q = EventQueue()
+        b = BarrierManager(3, q, release_latency=4)
+        released = []
+        b.arrive(0, now=10, resume=lambda t: released.append(("a", t)))
+        b.arrive(0, now=20, resume=lambda t: released.append(("b", t)))
+        assert not released
+        b.arrive(0, now=30, resume=lambda t: released.append(("c", t)))
+        q.run()
+        assert {name for name, _ in released} == {"a", "b", "c"}
+        # all released at last-arrival + latency
+        assert all(t == 34 for _, t in released)
+
+    def test_slowest_core_sets_release_time(self):
+        """Barriers couple one slow core into everyone's runtime --
+        the amplification mechanism behind Figure 4."""
+        q = EventQueue()
+        b = BarrierManager(2, q, release_latency=0)
+        times = []
+        b.arrive(0, now=5, resume=times.append)
+        b.arrive(0, now=500, resume=times.append)
+        q.run()
+        assert times == [500, 500]
+
+    def test_multiple_barriers_independent(self):
+        q = EventQueue()
+        b = BarrierManager(2, q)
+        released = []
+        b.arrive(0, 1, lambda t: released.append(0))
+        b.arrive(1, 2, lambda t: released.append(1))
+        assert b.open_barriers == 2
+        b.arrive(1, 3, lambda t: released.append(1))
+        b.arrive(0, 4, lambda t: released.append(0))
+        q.run()
+        assert sorted(released) == [0, 0, 1, 1]
+        assert b.barriers_completed == 2
+
+    def test_overflow_detected(self):
+        q = EventQueue()
+        b = BarrierManager(3, q)
+        b.arrive(0, 1, lambda t: None)
+        b.arrive(0, 2, lambda t: None)
+        # a duplicate arrival before release must be caught: with 3
+        # participants, 4 arrivals on one barrier is a bug
+        b.arrive(0, 3, lambda t: None)  # releases
+        b.arrive(0, 4, lambda t: None)  # re-opens (new epoch): fine
+        b.arrive(0, 5, lambda t: None)
+        b.arrive(0, 6, lambda t: None)  # releases again
+        q.run()
+        assert b.barriers_completed == 2
+
+    def test_validation(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            BarrierManager(0, q)
+        with pytest.raises(ValueError):
+            BarrierManager(1, q, release_latency=-1)

@@ -1,0 +1,81 @@
+"""Unit tests for RunResult metrics and serialization."""
+
+import pickle
+
+import pytest
+
+from repro.coherence.l2controller import CacheCounters
+from repro.network.stats import NetworkStats
+from repro.sim.results import RunResult
+
+
+def make_result(**overrides):
+    ns = NetworkStats()
+    ns.injected_flits = 1000
+    ns.received_unicast_flits = 600
+    ns.received_broadcast_flits = 400
+    ns.onet_unicasts = 90
+    ns.onet_broadcasts = 3
+    defaults = dict(
+        app="demo",
+        network="ATAC+",
+        completion_cycles=10_000,
+        n_cores=64,
+        n_compute_cores=60,
+        total_instructions=120_000,
+        per_core_instructions=[2000] * 60,
+        stalled_cycles=5000,
+        network_stats=ns,
+        cache_counters=CacheCounters(l1d_reads=500),
+        dir_lookups=100,
+        dir_updates=80,
+        dir_inv_unicast=20,
+        dir_inv_broadcast=3,
+        mem_reads=50,
+        mem_writes=10,
+        barriers_completed=4,
+        onet_utilization=0.15,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestMetrics:
+    def test_runtime_seconds(self):
+        assert make_result().runtime_s == pytest.approx(1e-5)
+
+    def test_ipc(self):
+        r = make_result()
+        assert r.ipc == pytest.approx(120_000 / (10_000 * 60))
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(completion_cycles=0).ipc == 0.0
+
+    def test_offered_load(self):
+        r = make_result()
+        assert r.offered_load == pytest.approx(1000 / (10_000 * 64))
+
+    def test_broadcast_fraction(self):
+        assert make_result().receiver_broadcast_fraction == pytest.approx(0.4)
+
+    def test_unicasts_per_broadcast(self):
+        assert make_result().unicasts_per_broadcast == pytest.approx(30.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(completion_cycles=-1)
+
+    def test_summary_keys(self):
+        s = make_result().summary()
+        assert set(s) >= {"app", "network", "cycles", "ipc", "offered_load"}
+
+
+class TestSerialization:
+    def test_pickle_roundtrip(self):
+        """The experiment cache pickles results; everything must survive."""
+        r = make_result()
+        r2 = pickle.loads(pickle.dumps(r))
+        assert r2.completion_cycles == r.completion_cycles
+        assert r2.network_stats.as_dict() == r.network_stats.as_dict()
+        assert r2.cache_counters == r.cache_counters
+        assert r2.summary() == r.summary()

@@ -1,0 +1,72 @@
+"""Unit tests for the Table IV technology scenarios."""
+
+import pytest
+
+from repro.tech.photonics import PhotonicParams
+from repro.tech.scenarios import (
+    ALL_SCENARIOS,
+    SCENARIO_ATACP,
+    SCENARIO_CONS,
+    SCENARIO_IDEAL,
+    SCENARIO_RINGTUNED,
+    TechScenario,
+)
+
+
+class TestTableIV:
+    def test_four_flavors_in_paper_order(self):
+        assert [s.name for s in ALL_SCENARIOS] == [
+            "ATAC+(Ideal)", "ATAC+", "ATAC+(RingTuned)", "ATAC+(Cons)",
+        ]
+
+    def test_ideal_row(self):
+        s = SCENARIO_IDEAL
+        assert s.ideal_devices and s.laser_power_gated and s.athermal_rings
+
+    def test_atacp_row(self):
+        s = SCENARIO_ATACP
+        assert not s.ideal_devices and s.laser_power_gated and s.athermal_rings
+
+    def test_ringtuned_row(self):
+        s = SCENARIO_RINGTUNED
+        assert not s.ideal_devices and s.laser_power_gated
+        assert not s.athermal_rings
+
+    def test_cons_row(self):
+        s = SCENARIO_CONS
+        assert not s.ideal_devices
+        assert not s.laser_power_gated
+        assert not s.athermal_rings
+
+    def test_each_step_drops_exactly_one_feature(self):
+        """Ideal -> ATAC+ -> RingTuned -> Cons: a feature ladder."""
+        features = [
+            (s.ideal_devices, s.athermal_rings, s.laser_power_gated)
+            for s in ALL_SCENARIOS
+        ]
+        counts = [sum(f) for f in features]
+        assert counts == [3, 2, 1, 0]
+
+
+class TestParamResolution:
+    def test_ideal_scenario_idealizes_devices(self):
+        p = SCENARIO_IDEAL.photonic_params()
+        assert p.laser_efficiency == 1.0
+        assert p.waveguide_loss_db_per_cm == 0.0
+
+    def test_practical_scenarios_keep_table_ii(self):
+        base = PhotonicParams()
+        for s in (SCENARIO_ATACP, SCENARIO_RINGTUNED, SCENARIO_CONS):
+            p = s.photonic_params(base)
+            assert p == base
+
+    def test_custom_base_flows_through(self):
+        lossy = PhotonicParams(waveguide_loss_db_per_cm=3.0)
+        assert SCENARIO_ATACP.photonic_params(lossy) == lossy
+        # Ideal overrides losses regardless of the base
+        assert SCENARIO_IDEAL.photonic_params(lossy).waveguide_loss_db_per_cm == 0.0
+
+    def test_invalid_base_rejected(self):
+        bad = PhotonicParams(laser_efficiency=2.0)
+        with pytest.raises(ValueError):
+            SCENARIO_ATACP.photonic_params(bad)

@@ -1,0 +1,117 @@
+"""Unit tests for the 11 nm transistor model (paper Table III)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.transistor import TransistorModel, TECH_11NM
+
+
+class TestTableIIIParameters:
+    """The default model must match Table III verbatim."""
+
+    def test_supply_voltage(self):
+        assert TECH_11NM.vdd_v == 0.6
+
+    def test_gate_length(self):
+        assert TECH_11NM.gate_length_nm == 14.0
+
+    def test_contacted_gate_pitch(self):
+        assert TECH_11NM.contacted_gate_pitch_nm == 44.0
+
+    def test_gate_cap(self):
+        assert TECH_11NM.gate_cap_ff_per_um == 2.420
+
+    def test_drain_cap(self):
+        assert TECH_11NM.drain_cap_ff_per_um == 1.150
+
+    def test_on_currents(self):
+        assert TECH_11NM.ion_n_ua_per_um == 739.0
+        assert TECH_11NM.ion_p_ua_per_um == 668.0
+
+    def test_off_current(self):
+        assert TECH_11NM.ioff_na_per_um == 1.0
+
+    def test_validate_passes(self):
+        TECH_11NM.validate()
+
+
+class TestDerivedQuantities:
+    def test_cap_per_um(self):
+        # 2.42 + 1.15 = 3.57 fF/um
+        assert TECH_11NM.cap_per_um_f == pytest.approx(3.57e-15)
+
+    def test_switch_energy(self):
+        # C * V^2 = 3.57 fF * 0.36 V^2 = 1.285 fJ/um
+        assert TECH_11NM.switch_energy_per_um_j == pytest.approx(1.2852e-15)
+
+    def test_leakage_power(self):
+        # 1 nA/um * 0.6 V = 0.6 nW/um
+        assert TECH_11NM.leakage_power_per_um_w == pytest.approx(0.6e-9)
+
+    def test_drive_resistance(self):
+        # V / I_avg = 0.6 / 703.5 uA ~= 853 ohm*um
+        r = TECH_11NM.drive_resistance_ohm_um
+        assert 800 < r < 900
+
+    def test_driver_resistance_scales_inversely_with_width(self):
+        r1 = TECH_11NM.driver_resistance_ohm(1.0)
+        r2 = TECH_11NM.driver_resistance_ohm(2.0)
+        assert r1 == pytest.approx(2.0 * r2)
+
+    def test_fo4_delay_is_a_few_picoseconds(self):
+        # Deeply-scaled FO4 delays are in the low single-digit ps.
+        fo4 = TECH_11NM.fo4_delay_s
+        assert 1e-12 < fo4 < 20e-12
+
+    def test_fo4_leaves_margin_at_1ghz(self):
+        # A 1 GHz cycle (Table I) is hundreds of FO4s -- the paper's
+        # "clock frequencies are relatively slow" premise.
+        assert 1e-9 / TECH_11NM.fo4_delay_s > 50
+
+    def test_gate_cap_scales_with_width(self):
+        assert TECH_11NM.gate_cap_f(2.0) == pytest.approx(2 * TECH_11NM.gate_cap_f(1.0))
+
+
+class TestValidation:
+    def test_zero_width_driver_rejected(self):
+        with pytest.raises(ValueError):
+            TECH_11NM.driver_resistance_ohm(0.0)
+
+    def test_negative_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorModel(vdd_v=-0.1).validate()
+
+    def test_negative_ioff_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorModel(ioff_na_per_um=-1.0).validate()
+
+    def test_pitch_below_gate_length_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorModel(contacted_gate_pitch_nm=10.0).validate()
+
+
+class TestProperties:
+    @given(
+        vdd=st.floats(0.3, 1.2),
+        cg=st.floats(0.5, 5.0),
+        cd=st.floats(0.2, 3.0),
+    )
+    def test_switch_energy_is_cv2(self, vdd, cg, cd):
+        m = TransistorModel(vdd_v=vdd, gate_cap_ff_per_um=cg, drain_cap_ff_per_um=cd)
+        expected = (cg + cd) * 1e-15 * vdd**2
+        assert m.switch_energy_per_um_j == pytest.approx(expected)
+
+    @given(vdd=st.floats(0.3, 1.2))
+    def test_energy_monotonic_in_vdd(self, vdd):
+        lo = TransistorModel(vdd_v=vdd)
+        hi = TransistorModel(vdd_v=vdd * 1.1)
+        assert hi.switch_energy_per_um_j > lo.switch_energy_per_um_j
+
+    @given(w=st.floats(0.05, 100.0))
+    def test_fo4_independentish_of_width_scaling(self, w):
+        """FO4 is a ratio metric: scaling min width leaves it unchanged."""
+        base = TransistorModel()
+        scaled = TransistorModel(min_width_um=w)
+        assert scaled.fo4_delay_s == pytest.approx(base.fo4_delay_s, rel=1e-9)

@@ -1,0 +1,127 @@
+"""Unit tests for trace types and the synthetic traffic generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.mesh import EMeshPure
+from repro.network.topology import MeshTopology
+from repro.network.types import BROADCAST
+from repro.workloads.synthetic import SyntheticTraffic, run_load_point
+from repro.workloads.trace import BarrierOp, ComputeOp, CoreTrace, MemoryOp
+
+
+class TestTraceOps:
+    def test_compute_op_validation(self):
+        with pytest.raises(ValueError):
+            ComputeOp(0)
+
+    def test_memory_op_validation(self):
+        with pytest.raises(ValueError):
+            MemoryOp(-1)
+
+    def test_barrier_op_validation(self):
+        with pytest.raises(ValueError):
+            BarrierOp(-1)
+
+    def test_trace_instruction_count(self):
+        t = CoreTrace(0, [ComputeOp(10), MemoryOp(5), BarrierOp(0), MemoryOp(6)])
+        assert t.n_instructions == 13
+        assert t.n_memory_ops == 2
+        assert t.n_barriers == 1
+
+    def test_trace_core_validation(self):
+        with pytest.raises(ValueError):
+            CoreTrace(-1, [])
+
+
+class TestSyntheticTraffic:
+    def test_deterministic(self):
+        a = SyntheticTraffic(64, load=0.1, seed=3).generate(100)
+        b = SyntheticTraffic(64, load=0.1, seed=3).generate(100)
+        assert [(p.src, p.dst, p.time) for p in a] == [
+            (p.src, p.dst, p.time) for p in b
+        ]
+
+    def test_seed_changes_traffic(self):
+        a = SyntheticTraffic(64, load=0.1, seed=3).generate(200)
+        b = SyntheticTraffic(64, load=0.1, seed=4).generate(200)
+        assert [(p.src, p.dst, p.time) for p in a] != [
+            (p.src, p.dst, p.time) for p in b
+        ]
+
+    def test_time_ordered(self):
+        pkts = SyntheticTraffic(64, load=0.2, seed=1).generate(200)
+        times = [p.time for p in pkts]
+        assert times == sorted(times)
+
+    def test_no_self_sends(self):
+        pkts = SyntheticTraffic(16, load=0.5, seed=2).generate(300)
+        for p in pkts:
+            if p.dst != BROADCAST:
+                assert p.dst != p.src
+
+    def test_load_approximately_met(self):
+        n_cores, cycles, load = 64, 2000, 0.2
+        pkts = SyntheticTraffic(n_cores, load=load, seed=5).generate(cycles)
+        flits = sum(p.n_flits(64) for p in pkts)
+        measured = flits / (cycles * n_cores)
+        assert measured == pytest.approx(load, rel=0.15)
+
+    def test_broadcast_fraction(self):
+        pkts = SyntheticTraffic(
+            64, load=0.3, broadcast_fraction=0.1, seed=6
+        ).generate(2000)
+        frac = sum(1 for p in pkts if p.dst == BROADCAST) / len(pkts)
+        assert frac == pytest.approx(0.1, abs=0.02)
+
+    def test_zero_broadcast_fraction(self):
+        pkts = SyntheticTraffic(
+            64, load=0.3, broadcast_fraction=0.0, seed=6
+        ).generate(500)
+        assert all(p.dst != BROADCAST for p in pkts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(1, load=0.1)
+        with pytest.raises(ValueError):
+            SyntheticTraffic(16, load=0.0)
+        with pytest.raises(ValueError):
+            SyntheticTraffic(16, load=0.1, broadcast_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTraffic(16, load=0.1).generate(0)
+
+
+class TestRunLoadPoint:
+    def test_low_load_near_zero_load_latency(self):
+        topo = MeshTopology(width=8, cluster_width=4)
+        net = EMeshPure(topo)
+        traffic = SyntheticTraffic(64, load=0.01, broadcast_fraction=0.0, seed=1)
+        pt = run_load_point(net, traffic, cycles=600, warmup_cycles=100)
+        # avg distance ~5.3 hops -> ~12-14 cycles zero-load
+        assert 5 < pt.mean_latency < 30
+        assert not pt.saturated
+
+    def test_overload_saturates(self):
+        topo = MeshTopology(width=8, cluster_width=4)
+        net = EMeshPure(topo)
+        traffic = SyntheticTraffic(64, load=0.9, broadcast_fraction=0.0, seed=1)
+        pt = run_load_point(net, traffic, cycles=800, warmup_cycles=100)
+        assert pt.saturated
+        assert pt.mean_latency > 100
+
+    def test_latency_monotonic_in_load(self):
+        topo = MeshTopology(width=8, cluster_width=4)
+        latencies = []
+        for load in (0.02, 0.15, 0.5):
+            net = EMeshPure(topo)
+            traffic = SyntheticTraffic(64, load=load, broadcast_fraction=0.0, seed=1)
+            pt = run_load_point(net, traffic, cycles=700, warmup_cycles=100)
+            latencies.append(pt.mean_latency)
+        assert latencies == sorted(latencies)
+
+    def test_warmup_validation(self):
+        topo = MeshTopology(width=8, cluster_width=4)
+        net = EMeshPure(topo)
+        traffic = SyntheticTraffic(64, load=0.1)
+        with pytest.raises(ValueError):
+            run_load_point(net, traffic, cycles=100, warmup_cycles=100)
