@@ -23,7 +23,11 @@ from repro.experiments import (
     fig14_15_16,
     fig17_table5,
 )
-from repro.experiments.common import DEFAULT_MESH_WIDTH, DEFAULT_SCALE, format_table
+from repro.experiments.common import (
+    default_mesh_width,
+    default_scale,
+    format_table,
+)
 from repro.experiments.report import bar_chart, curve_chart, stacked_bar_chart
 
 
@@ -37,14 +41,14 @@ def main() -> None:
     outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     outdir.mkdir(exist_ok=True)
     print(
-        f"Regenerating all figures at mesh width {DEFAULT_MESH_WIDTH}, "
-        f"trace scale {DEFAULT_SCALE} (set REPRO_MESH_WIDTH/REPRO_SCALE "
-        "to change)\n"
+        f"Regenerating all figures at mesh width {default_mesh_width()}, "
+        f"trace scale {default_scale()} (set REPRO_MESH_WIDTH/REPRO_SCALE "
+        "to change; REPRO_JOBS bounds runner workers)\n"
     )
 
     t0 = time.time()
     print("Figure 3 ...")
-    curves = fig03.run(mesh_width=min(32, DEFAULT_MESH_WIDTH * 2))
+    curves = fig03.run(mesh_width=min(32, default_mesh_width() * 2))
     series = {
         name: [(p["load"], p["latency"]) for p in pts]
         for name, pts in curves.items()

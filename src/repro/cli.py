@@ -8,9 +8,13 @@ Usage::
     python -m repro table5
     python -m repro all                  # everything, in figure order
     python -m repro ablations
+    python -m repro run --apps barnes,radix --networks atac+ --jobs 4
+    python -m repro sweep --jobs 4       # (apps x networks) design sweep
 
-Scale flags map onto the same knobs as the benchmark suite's
-environment variables.
+``--jobs`` bounds the runner's worker processes for every experiment
+(it exports ``REPRO_JOBS``, which the figure drivers honour); scale
+flags map onto the same knobs as the benchmark suite's environment
+variables.
 """
 
 from __future__ import annotations
@@ -73,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="fig3..fig17, table5, ablations, all, or list",
+        help="fig3..fig17, table5, ablations, run, sweep, all, or list",
     )
     parser.add_argument(
         "--mesh-width", type=int, default=None,
@@ -87,7 +91,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore and do not write the on-disk run cache",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for the experiment runner "
+             "(default: REPRO_JOBS env or all cores)",
+    )
+    parser.add_argument(
+        "--apps", default=None, metavar="A,B,...",
+        help="comma-separated app list for 'run'/'sweep' "
+             "(default: all 8 paper apps)",
+    )
+    parser.add_argument(
+        "--networks", default=None, metavar="N,M,...",
+        help="comma-separated networks for 'run'/'sweep' "
+             "(default: atac+ for 'run'; atac+,emesh-bcast for 'sweep')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="trace-generation seed for 'run'/'sweep' (default 42)",
+    )
     return parser
+
+
+def _sweep(args, networks_default: tuple[str, ...]) -> int:
+    """Shared implementation of the `run` and `sweep` experiments."""
+    from repro.experiments.common import (
+        Runner, format_table, spec_for,
+    )
+    from repro.workloads.splash import APP_ORDER
+
+    apps = tuple(args.apps.split(",")) if args.apps else APP_ORDER
+    networks = (
+        tuple(args.networks.split(",")) if args.networks else networks_default
+    )
+    try:
+        specs = [
+            spec_for(
+                app, network=net, mesh_width=args.mesh_width,
+                scale=args.scale, seed=args.seed,
+            )
+            for app in apps for net in networks
+        ]
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(msg, file=sys.stderr)
+        return 2
+    runner = Runner(jobs=args.jobs)
+    results = runner.run(specs)
+    report = runner.last_report
+    rows = [r.summary() for r in results]
+    print(format_table(rows, list(rows[0].keys())))
+    print(
+        f"\n{report.total} run(s): {report.hits} cached, {report.misses} "
+        f"executed on {report.jobs} worker(s) in {report.elapsed_s:.1f}s"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,12 +157,24 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SCALE"] = str(args.scale)
     if args.no_cache:
         os.environ["REPRO_CACHE"] = "0"
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    if args.experiment == "run":
+        return _sweep(args, networks_default=("atac+",))
+    if args.experiment == "sweep":
+        return _sweep(args, networks_default=("atac+", "emesh-bcast"))
 
     mains = _experiment_mains()
     if args.experiment == "list":
         print("available experiments:")
         for name in sorted(mains, key=lambda n: (len(n), n)):
             print(f"  {name}")
+        print("  run    (explicit app/network batch through the runner)")
+        print("  sweep  (apps x networks design sweep through the runner)")
         print("  all")
         return 0
     if args.experiment == "all":

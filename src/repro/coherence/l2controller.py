@@ -21,7 +21,7 @@ toward home directories:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable
 
 from repro.coherence.cache import CacheState, SetAssocCache
@@ -48,6 +48,16 @@ class CacheCounters:
     bcast_invs_buffered: int = 0
     bcast_invs_stale_dropped: int = 0
     unicasts_buffered_early: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for results serialization)."""
+        return {f.name: getattr(self, f.name) for f in fields(CacheCounters)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheCounters":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
 
 
 @dataclass

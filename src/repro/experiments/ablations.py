@@ -15,7 +15,7 @@ These go beyond the paper's figures:
 
 from __future__ import annotations
 
-from repro.experiments.common import run_app
+from repro.experiments.common import LoadPointSpec, run_batch, spec_for
 from repro.network.analytic import AnalyticModel
 from repro.network.atac import AtacNetwork
 from repro.network.routing import AdaptiveDistanceRouting, DistanceRouting
@@ -85,9 +85,12 @@ def run_sequencing_cost(
     are processed immediately (a real machine would risk incoherence;
     the simulator tracks states only, so it measures the *timing* cost
     of the buffering the mechanism adds)."""
+    specs = [
+        spec_for(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        for app in apps
+    ]
     rows = []
-    for app in apps:
-        on = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+    for app, on in zip(apps, run_batch(specs)):
         rows.append(
             {
                 "app": app,
@@ -123,12 +126,20 @@ def run_analytic_accuracy(
             dst += 1
         samples.append(model.atac_unicast_latency(routing, src, dst, 88))
     analytic_mean = sum(samples) / len(samples)
+    specs = [
+        LoadPointSpec(
+            routing="distance-15",
+            load=load,
+            mesh_width=mesh_width,
+            broadcast_fraction=0.0,
+            cycles=cycles,
+            warmup_cycles=warmup_cycles,
+            seed=5,
+        )
+        for load in loads
+    ]
     rows = []
-    for load in loads:
-        net = AtacNetwork(topology, routing=routing)
-        traffic = SyntheticTraffic(n, load=load, broadcast_fraction=0.0, seed=5)
-        pt = run_load_point(net, traffic, cycles=cycles,
-                            warmup_cycles=warmup_cycles)
+    for load, pt in zip(loads, run_batch(specs)):
         rows.append(
             {
                 "load": load,

@@ -1,39 +1,56 @@
-"""Shared experiment machinery: configured runs + an on-disk cache.
+"""Shared experiment machinery: spec construction + batch running.
 
 A single (app, architecture) simulation feeds many figures (runtime ->
 Fig 4, traffic mix -> Fig 5, load -> Fig 6, energy -> Figs 7-9/17,
-Table V), so runs are cached on disk keyed by their full parameter
-tuple.  Delete ``.repro_cache/`` or set ``REPRO_CACHE=0`` to force
-re-simulation.
+Table V), so runs are content-addressed in a versioned on-disk store
+and executed through the process-parallel :class:`Runner`:
+
+    RunSpec (typed parameters, deterministic hash)
+        -> Runner (ProcessPoolExecutor fan-out, --jobs N)
+        -> ResultStore (schema-versioned JSON, .repro_cache/)
+
+Delete ``.repro_cache/`` or set ``REPRO_CACHE=0`` to force
+re-simulation; set ``REPRO_JOBS`` to bound worker processes.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
-from pathlib import Path
 
 from repro.coherence.directory import Protocol
+from repro.experiments.runner import Runner, default_jobs, run_specs
+from repro.experiments.runspec import CACHE_SCHEMA_VERSION, LoadPointSpec, RunSpec
+from repro.experiments.store import ResultStore, cache_enabled
 from repro.sim.config import SystemConfig
-from repro.sim.system import ManycoreSystem
 from repro.sim.results import RunResult
-from repro.workloads.splash import APP_PROFILES, generate_traces
 
-#: Default experiment scale (overridable via environment).
-DEFAULT_MESH_WIDTH = int(os.environ.get("REPRO_MESH_WIDTH", "16"))
-DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.6"))
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "LoadPointSpec",
+    "Runner",
+    "RunSpec",
+    "cache_enabled",
+    "default_jobs",
+    "default_mesh_width",
+    "default_scale",
+    "format_table",
+    "make_config",
+    "run_app",
+    "run_batch",
+    "run_specs",
+    "spec_for",
+]
 
-_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+def default_mesh_width() -> int:
+    """``REPRO_MESH_WIDTH``, read at call time (not import time) so
+    tests and CLI flags set after import are honoured."""
+    return int(os.environ.get("REPRO_MESH_WIDTH", "16"))
 
 
-def cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "1") != "0"
-
-
-def _cache_path(key: str) -> Path:
-    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
-    return _CACHE_DIR / f"run_{digest}.pkl"
+def default_scale() -> float:
+    """``REPRO_SCALE``, read at call time (see :func:`default_mesh_width`)."""
+    return float(os.environ.get("REPRO_SCALE", "0.6"))
 
 
 def make_config(
@@ -46,18 +63,52 @@ def make_config(
     receive_net: str = "starnet",
 ) -> SystemConfig:
     """A paper-default config scaled to the requested mesh width."""
-    width = mesh_width if mesh_width is not None else DEFAULT_MESH_WIDTH
-    base = SystemConfig(
+    return spec_for(
+        "lu_contig",  # any valid app: only architecture fields are used
         network=network,
+        mesh_width=mesh_width,
         protocol=protocol,
         hardware_sharers=hardware_sharers,
         rthres=rthres,
         flit_bits=flit_bits,
         receive_net=receive_net,
+    ).config()
+
+
+def spec_for(
+    app: str,
+    network: str = "atac+",
+    mesh_width: int | None = None,
+    scale: float | None = None,
+    protocol: Protocol = Protocol.ACKWISE,
+    hardware_sharers: int = 4,
+    rthres: int = 15,
+    flit_bits: int = 64,
+    receive_net: str = "starnet",
+    seed: int = 42,
+) -> RunSpec:
+    """Build a :class:`RunSpec`, resolving ``None`` size knobs from the
+    environment at call time."""
+    return RunSpec(
+        app=app,
+        network=network,
+        mesh_width=mesh_width if mesh_width is not None else default_mesh_width(),
+        scale=scale if scale is not None else default_scale(),
+        protocol=protocol,
+        hardware_sharers=hardware_sharers,
+        rthres=rthres,
+        flit_bits=flit_bits,
+        receive_net=receive_net,
+        seed=seed,
     )
-    if width == 32:
-        return base
-    return base.scaled(mesh_width=width)
+
+
+def run_batch(specs, jobs: int | None = None, progress: bool = True) -> list:
+    """Execute a batch of specs through the shared runner.
+
+    Returns results aligned with ``specs``; duplicates execute once.
+    """
+    return run_specs(specs, jobs=jobs, progress=progress)
 
 
 def run_app(
@@ -72,36 +123,12 @@ def run_app(
     receive_net: str = "starnet",
     seed: int = 42,
 ) -> RunResult:
-    """Simulate one application on one architecture (cached)."""
-    if app not in APP_PROFILES:
-        raise KeyError(f"unknown app {app!r}; choose from {sorted(APP_PROFILES)}")
-    scale = scale if scale is not None else DEFAULT_SCALE
-    config = make_config(
-        network, mesh_width, protocol, hardware_sharers, rthres,
-        flit_bits, receive_net,
+    """Simulate one application on one architecture (store-cached)."""
+    spec = spec_for(
+        app, network, mesh_width, scale, protocol,
+        hardware_sharers, rthres, flit_bits, receive_net, seed,
     )
-    key = (
-        f"v4|{app}|{network}|{config.mesh_width}|{scale}|{protocol.value}|"
-        f"{hardware_sharers}|{rthres}|{flit_bits}|{receive_net}|{seed}"
-    )
-    path = _cache_path(key)
-    if cache_enabled() and path.exists():
-        with path.open("rb") as fh:
-            return pickle.load(fh)
-    system = ManycoreSystem(config)
-    traces = generate_traces(
-        APP_PROFILES[app],
-        system.topology,
-        l2_lines=config.l2_sets * config.l2_ways,
-        scale=scale,
-        seed=seed,
-    )
-    result = system.run(traces, app=app)
-    if cache_enabled():
-        _CACHE_DIR.mkdir(exist_ok=True)
-        with path.open("wb") as fh:
-            pickle.dump(result, fh)
-    return result
+    return Runner(jobs=1, progress=False).run_one(spec)
 
 
 def format_table(rows: list[dict], columns: list[str]) -> str:

@@ -9,14 +9,17 @@ All}.  The paper's observations, all reproduced here:
 * the optimal rthres grows to 15 and then 25 as load increases;
 * Distance-25 maximizes saturation throughput;
 * Distance-35 and Distance-All are never optimal.
+
+The (scheme x load) grid is embarrassingly parallel, so the sweep is
+expressed as a batch of :class:`~repro.experiments.runspec.LoadPointSpec`
+and fanned out through the runner.
 """
 
 from __future__ import annotations
 
-from repro.network.atac import AtacNetwork
+from repro.experiments.common import LoadPointSpec, run_batch
 from repro.network.routing import ClusterRouting, DistanceRouting, distance_all
 from repro.network.topology import MeshTopology
-from repro.workloads.synthetic import SyntheticTraffic, run_load_point
 
 #: offered loads (flits/cycle/core) swept on the x-axis
 DEFAULT_LOADS = (0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.24)
@@ -32,6 +35,19 @@ def routing_schemes(topology: MeshTopology):
     return schemes
 
 
+def scheme_ids(topology: MeshTopology) -> list[tuple[str, str]]:
+    """(canonical spec routing, display name) per Figure 3 scheme."""
+    out = []
+    for scheme in routing_schemes(topology):
+        if scheme.name == "Cluster":
+            out.append(("cluster", scheme.name))
+        elif scheme.name == "Distance-All":
+            out.append(("distance-all", scheme.name))
+        else:
+            out.append((f"distance-{scheme.rthres}", scheme.name))
+    return out
+
+
 def run(
     mesh_width: int = 32,
     loads: tuple[float, ...] = DEFAULT_LOADS,
@@ -39,31 +55,36 @@ def run(
     warmup_cycles: int = 400,
     broadcast_fraction: float = 0.001,
     seed: int = 7,
+    jobs: int | None = None,
 ) -> dict[str, list[dict]]:
     """Returns {scheme_name: [{load, latency, saturated}, ...]}."""
     topology = MeshTopology(width=mesh_width, cluster_width=4)
+    ids = scheme_ids(topology)
+    specs = [
+        LoadPointSpec(
+            routing=routing,
+            load=load,
+            mesh_width=mesh_width,
+            broadcast_fraction=broadcast_fraction,
+            cycles=cycles,
+            warmup_cycles=warmup_cycles,
+            seed=seed,
+        )
+        for routing, _ in ids for load in loads
+    ]
+    points = iter(run_batch(specs, jobs=jobs))
     curves: dict[str, list[dict]] = {}
-    for scheme in routing_schemes(topology):
-        points = []
+    for _, name in ids:
+        curves[name] = []
         for load in loads:
-            network = AtacNetwork(topology, routing=scheme)
-            traffic = SyntheticTraffic(
-                n_cores=topology.n_cores,
-                load=load,
-                broadcast_fraction=broadcast_fraction,
-                seed=seed,
-            )
-            pt = run_load_point(
-                network, traffic, cycles=cycles, warmup_cycles=warmup_cycles
-            )
-            points.append(
+            pt = next(points)
+            curves[name].append(
                 {
                     "load": load,
                     "latency": round(pt.mean_latency, 1),
                     "saturated": pt.saturated,
                 }
             )
-        curves[scheme.name] = points
     return curves
 
 

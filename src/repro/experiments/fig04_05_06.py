@@ -7,11 +7,14 @@
   penalty too.
 * **Figure 5**: unicast vs broadcast traffic measured at the receiver.
 * **Figure 6**: offered network load (flits/cycle/core) on ATAC+.
+
+Each driver builds its full spec list up front and hands it to the
+runner, so a cold cache fans out across worker processes.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import format_table, run_app
+from repro.experiments.common import format_table, run_batch, spec_for
 from repro.workloads.splash import APP_ORDER
 
 NETWORKS = ("atac+", "emesh-bcast", "emesh-pure")
@@ -21,14 +24,19 @@ def run_fig4(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Rows: app, runtime per network, and runtimes normalized to ATAC+."""
+    specs = [
+        spec_for(app, network=net, mesh_width=mesh_width, scale=scale)
+        for app in apps for net in NETWORKS
+    ]
+    results = iter(run_batch(specs, jobs=jobs))
     rows = []
     for app in apps:
         row: dict = {"app": app}
         for net in NETWORKS:
-            res = run_app(app, network=net, mesh_width=mesh_width, scale=scale)
-            row[net] = res.completion_cycles
+            row[net] = next(results).completion_cycles
         for net in NETWORKS:
             row[f"{net}_norm"] = round(row[net] / row["atac+"], 3)
         rows.append(row)
@@ -39,11 +47,15 @@ def run_fig5(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Receiver-side unicast/broadcast percentages on ATAC+ (Fig 5)."""
+    specs = [
+        spec_for(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        for app in apps
+    ]
     rows = []
-    for app in apps:
-        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+    for app, res in zip(apps, run_batch(specs, jobs=jobs)):
         frac = res.receiver_broadcast_fraction
         rows.append(
             {
@@ -59,13 +71,17 @@ def run_fig6(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Offered load in flits/cycle/core on ATAC+ (Fig 6)."""
-    rows = []
-    for app in apps:
-        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
-        rows.append({"app": app, "offered_load": round(res.offered_load, 5)})
-    return rows
+    specs = [
+        spec_for(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        for app in apps
+    ]
+    return [
+        {"app": app, "offered_load": round(res.offered_load, 5)}
+        for app, res in zip(apps, run_batch(specs, jobs=jobs))
+    ]
 
 
 def main() -> None:

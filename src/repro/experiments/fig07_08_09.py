@@ -11,14 +11,16 @@
 * **Figure 9**: total energy vs waveguide loss (0.2-4 dB/cm),
   normalized to EMesh-BCast; ATAC+ tolerates moderate losses before
   losing its energy advantage.
+
+The tech scenarios are post-processing (per-event energy tables applied
+to the same event counters), so each figure simulates only its unique
+(app, network) grid -- built as one spec batch and run in parallel.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.energy.accounting import ALL_KEYS, EnergyModel
-from repro.experiments.common import format_table, make_config, run_app
+from repro.experiments.common import format_table, make_config, run_batch, spec_for
 from repro.tech.photonics import PhotonicParams
 from repro.tech.scenarios import (
     ALL_SCENARIOS,
@@ -37,21 +39,32 @@ def _energy_model(network: str, mesh_width: int | None,
     return EnergyModel(make_config(network, mesh_width), photonics=photonics)
 
 
+def _grid(apps, networks, mesh_width, scale, jobs):
+    """Run the (app, network) grid; returns {(app, net): RunResult}."""
+    keys = [(app, net) for app in apps for net in networks]
+    specs = [
+        spec_for(app, network=net, mesh_width=mesh_width, scale=scale)
+        for app, net in keys
+    ]
+    return dict(zip(keys, run_batch(specs, jobs=jobs)))
+
+
 def run_fig7(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Average per-component energy by architecture, normalized to
     ATAC+(Ideal)'s total; keys follow Figure 7's wedges."""
+    results = _grid(apps, ("atac+",) + MESHES, mesh_width, scale, jobs)
     totals: dict[str, dict[str, float]] = {}
     n = len(apps)
     atac_model = _energy_model("atac+", mesh_width)
     for scenario in ALL_SCENARIOS:
         acc = {k: 0.0 for k in ALL_KEYS}
         for app in apps:
-            res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
-            b = atac_model.evaluate(res, scenario)
+            b = atac_model.evaluate(results[app, "atac+"], scenario)
             for k in ALL_KEYS:
                 acc[k] += b[k] / n
         totals[scenario.name] = acc
@@ -60,8 +73,7 @@ def run_fig7(
         acc = {k: 0.0 for k in ALL_KEYS}
         name = None
         for app in apps:
-            res = run_app(app, network=net, mesh_width=mesh_width, scale=scale)
-            b = model.evaluate(res)
+            b = model.evaluate(results[app, net])
             name = b.network
             for k in ALL_KEYS:
                 acc[k] += b[k] / n
@@ -79,14 +91,16 @@ def run_fig8(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Per-app EDP normalized to ATAC+(Ideal); plus the average row."""
+    results = _grid(apps, ("atac+",) + MESHES, mesh_width, scale, jobs)
     atac_model = _energy_model("atac+", mesh_width)
     mesh_models = {net: _energy_model(net, mesh_width) for net in MESHES}
     rows = []
     sums: dict[str, float] = {}
     for app in apps:
-        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        res = results[app, "atac+"]
         ref = atac_model.evaluate(res, SCENARIO_IDEAL).edp()
         row = {"app": app}
         for scenario in ALL_SCENARIOS:
@@ -94,8 +108,7 @@ def run_fig8(
                 atac_model.evaluate(res, scenario).edp() / ref, 3
             )
         for net in MESHES:
-            mres = run_app(app, network=net, mesh_width=mesh_width, scale=scale)
-            b = mesh_models[net].evaluate(mres)
+            b = mesh_models[net].evaluate(results[app, net])
             row[b.network] = round(b.edp() / ref, 3)
         rows.append(row)
         for k, v in row.items():
@@ -112,22 +125,22 @@ def run_fig9(
     losses_db_per_cm: tuple[float, ...] = (0.2, 1.0, 2.0, 3.0, 4.0),
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Chip energy vs waveguide loss, normalized to EMesh-BCast.
 
     Per app and averaged; ATAC+ (power-gated, athermal) under each loss.
     """
+    results = _grid(apps, ("atac+", "emesh-bcast"), mesh_width, scale, jobs)
     rows = []
     bcast_model = _energy_model("emesh-bcast", mesh_width)
     for app in apps:
-        res_atac = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
-        res_mesh = run_app(app, network="emesh-bcast", mesh_width=mesh_width, scale=scale)
-        ref = bcast_model.evaluate(res_mesh).chip_energy_j
+        ref = bcast_model.evaluate(results[app, "emesh-bcast"]).chip_energy_j
         row = {"app": app}
         for loss in losses_db_per_cm:
             photonics = PhotonicParams(waveguide_loss_db_per_cm=loss)
             model = _energy_model("atac+", mesh_width, photonics=photonics)
-            b = model.evaluate(res_atac, SCENARIO_ATACP)
+            b = model.evaluate(results[app, "atac+"], SCENARIO_ATACP)
             row[f"loss{loss}"] = round(b.chip_energy_j / ref, 3)
         rows.append(row)
     avg = {"app": "average"}

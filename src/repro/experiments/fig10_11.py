@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from repro.energy.area import AreaModel
-from repro.experiments.common import format_table, make_config, run_app
+from repro.experiments.common import format_table, make_config, run_batch, spec_for
 from repro.tech.photonics import OnetGeometry
 
 #: the four applications Figure 11 sweeps
@@ -38,21 +38,22 @@ def run_fig11(
     widths: tuple[int, ...] = FLIT_WIDTHS,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Runtime (normalized to 64-bit) and photonic area per flit width."""
+    keys = [(app, w) for app in apps for w in (64, *widths)]
+    specs = [
+        spec_for(app, network="atac+", flit_bits=w,
+                 mesh_width=mesh_width, scale=scale)
+        for app, w in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     for app in apps:
-        ref = run_app(
-            app, network="atac+", flit_bits=64,
-            mesh_width=mesh_width, scale=scale,
-        ).completion_cycles
+        ref = results[app, 64].completion_cycles
         row = {"app": app}
         for w in widths:
-            res = run_app(
-                app, network="atac+", flit_bits=w,
-                mesh_width=mesh_width, scale=scale,
-            )
-            row[f"w{w}"] = round(res.completion_cycles / ref, 3)
+            row[f"w{w}"] = round(results[app, w].completion_cycles / ref, 3)
         rows.append(row)
     avg = {"app": "average"}
     for w in widths:

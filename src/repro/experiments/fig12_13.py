@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from repro.energy.accounting import EnergyModel
-from repro.experiments.common import format_table, make_config, run_app
+from repro.experiments.common import format_table, make_config, run_batch, spec_for
 from repro.workloads.splash import APP_ORDER
 
 #: the four applications Figure 13 sweeps
@@ -23,6 +23,7 @@ def run_fig12(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Chip energy with BNet vs StarNet under *cluster* routing.
 
@@ -30,19 +31,24 @@ def run_fig12(
     paper does ("conducted with a cluster-based routing protocol in
     order to quantify just the reduction in energy").
     """
+    keys = [(app, rn) for app in apps for rn in ("bnet", "starnet")]
+    specs = [
+        spec_for(app, network="atac+", rthres=0, receive_net=rn,
+                 mesh_width=mesh_width, scale=scale)
+        for app, rn in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     for app in apps:
         row = {"app": app}
         energies = {}
         for receive_net in ("bnet", "starnet"):
-            res = run_app(
-                app, network="atac+", rthres=0, receive_net=receive_net,
-                mesh_width=mesh_width, scale=scale,
-            )
             model = EnergyModel(
                 make_config("atac+", mesh_width, receive_net=receive_net)
             )
-            energies[receive_net] = model.evaluate(res).chip_energy_j
+            energies[receive_net] = model.evaluate(
+                results[app, receive_net]
+            ).chip_energy_j
         row["bnet_j"] = energies["bnet"]
         row["starnet_j"] = energies["starnet"]
         row["starnet_norm"] = round(energies["starnet"] / energies["bnet"], 4)
@@ -57,27 +63,29 @@ def run_fig13(
     thresholds: tuple[int, ...] = (5, 10, 15, 20, 25),
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """EDP of distance-based routing vs the Cluster baseline.
 
     ``rthres=0`` degenerates to cluster routing (every inter-cluster
     unicast over the ONet) and serves as the normalization baseline.
     """
+    keys = [(app, t) for app in apps for t in (0, *thresholds)]
+    specs = [
+        spec_for(app, network="atac+", rthres=t,
+                 mesh_width=mesh_width, scale=scale)
+        for app, t in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     model = EnergyModel(make_config("atac+", mesh_width))
     for app in apps:
-        base = run_app(
-            app, network="atac+", rthres=0,
-            mesh_width=mesh_width, scale=scale,
-        )
-        ref = model.evaluate(base).edp()
+        ref = model.evaluate(results[app, 0]).edp()
         row = {"app": app, "Cluster": 1.0}
         for t in thresholds:
-            res = run_app(
-                app, network="atac+", rthres=t,
-                mesh_width=mesh_width, scale=scale,
+            row[f"Distance-{t}"] = round(
+                model.evaluate(results[app, t]).edp() / ref, 4
             )
-            row[f"Distance-{t}"] = round(model.evaluate(res).edp() / ref, 4)
         rows.append(row)
     avg = {"app": "average", "Cluster": 1.0}
     for t in thresholds:

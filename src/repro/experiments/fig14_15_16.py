@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.coherence.directory import Protocol
 from repro.energy.accounting import ALL_KEYS, EnergyModel
-from repro.experiments.common import format_table, make_config, run_app
+from repro.experiments.common import format_table, make_config, run_batch, spec_for
 from repro.workloads.splash import APP_ORDER
 
 #: Figure 14's six applications.
@@ -30,27 +30,35 @@ def run_fig14(
     apps: tuple[str, ...] = FIG14_APPS,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """EDP of {ATAC+, EMesh-BCast} x {ACKwise4, Dir4B}, normalized to
     ATAC+/ACKwise4 per app."""
+    cells = [
+        (net, proto)
+        for net in ("atac+", "emesh-bcast")
+        for proto in (Protocol.ACKWISE, Protocol.DIRKB)
+    ]
+    keys = [(app, net, proto) for app in apps for net, proto in cells]
+    specs = [
+        spec_for(app, network=net, protocol=proto,
+                 mesh_width=mesh_width, scale=scale)
+        for app, net, proto in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     for app in apps:
         row = {"app": app}
         ref = None
-        for net in ("atac+", "emesh-bcast"):
-            for proto in (Protocol.ACKWISE, Protocol.DIRKB):
-                res = run_app(
-                    app, network=net, protocol=proto,
-                    mesh_width=mesh_width, scale=scale,
-                )
-                model = EnergyModel(make_config(net, mesh_width, protocol=proto))
-                edp = model.evaluate(res).edp()
-                if ref is None:
-                    ref = edp
-                label = ("ATAC+" if net == "atac+" else "EMesh-BCast") + (
-                    "/ACKwise4" if proto is Protocol.ACKWISE else "/Dir4B"
-                )
-                row[label] = round(edp / ref, 3)
+        for net, proto in cells:
+            model = EnergyModel(make_config(net, mesh_width, protocol=proto))
+            edp = model.evaluate(results[app, net, proto]).edp()
+            if ref is None:
+                ref = edp
+            label = ("ATAC+" if net == "atac+" else "EMesh-BCast") + (
+                "/ACKwise4" if proto is Protocol.ACKWISE else "/Dir4B"
+            )
+            row[label] = round(edp / ref, 3)
         rows.append(row)
     return rows
 
@@ -60,21 +68,22 @@ def run_fig15(
     sharers: tuple[int, ...] = SHARER_SWEEP,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """ATAC+ completion time vs ACKwise hardware sharers, normalized to k=4."""
+    keys = [(app, k) for app in apps for k in (4, *sharers)]
+    specs = [
+        spec_for(app, network="atac+", hardware_sharers=k,
+                 mesh_width=mesh_width, scale=scale)
+        for app, k in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     for app in apps:
-        ref = run_app(
-            app, network="atac+", hardware_sharers=4,
-            mesh_width=mesh_width, scale=scale,
-        ).completion_cycles
+        ref = results[app, 4].completion_cycles
         row = {"app": app}
         for k in sharers:
-            res = run_app(
-                app, network="atac+", hardware_sharers=k,
-                mesh_width=mesh_width, scale=scale,
-            )
-            row[f"k{k}"] = round(res.completion_cycles / ref, 4)
+            row[f"k{k}"] = round(results[app, k].completion_cycles / ref, 4)
         rows.append(row)
     return rows
 
@@ -84,20 +93,24 @@ def run_fig16(
     sharers: tuple[int, ...] = SHARER_SWEEP,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """ATAC+ chip energy breakdown vs k, averaged over apps and
     normalized to k=4 (Figure 16's 2x growth, driven by the directory)."""
     chip_keys = [k for k in ALL_KEYS if k not in ("core_dd", "core_ndd", "dram")]
+    keys = [(app, k) for app in apps for k in sharers]
+    specs = [
+        spec_for(app, network="atac+", hardware_sharers=k,
+                 mesh_width=mesh_width, scale=scale)
+        for app, k in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     per_k: dict[int, dict[str, float]] = {}
     for k in sharers:
         model = EnergyModel(make_config("atac+", mesh_width, hardware_sharers=k))
         acc = {key: 0.0 for key in chip_keys}
         for app in apps:
-            res = run_app(
-                app, network="atac+", hardware_sharers=k,
-                mesh_width=mesh_width, scale=scale,
-            )
-            b = model.evaluate(res)
+            b = model.evaluate(results[app, k])
             for key in chip_keys:
                 acc[key] += b[key] / len(apps)
         per_k[k] = acc

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from repro.energy.accounting import EnergyModel
-from repro.experiments.common import format_table, make_config, run_app
+from repro.experiments.common import format_table, make_config, run_batch, spec_for
 from repro.tech.core import CorePowerModel
 from repro.workloads.splash import APP_ORDER
 
@@ -24,8 +24,15 @@ def run_fig17(
     ndd_fractions: tuple[float, ...] = (0.10, 0.40),
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Rows of (app, network, ndd_fraction) with core/cache/network J."""
+    keys = [(app, net) for app in apps for net in ("atac+", "emesh-bcast")]
+    specs = [
+        spec_for(app, network=net, mesh_width=mesh_width, scale=scale)
+        for app, net in keys
+    ]
+    results = dict(zip(keys, run_batch(specs, jobs=jobs)))
     rows = []
     for ndd in ndd_fractions:
         core_model = CorePowerModel(ndd_fraction=ndd)
@@ -34,8 +41,7 @@ def run_fig17(
                 model = EnergyModel(
                     make_config(net, mesh_width), core_power=core_model
                 )
-                res = run_app(app, network=net, mesh_width=mesh_width, scale=scale)
-                b = model.evaluate(res)
+                b = model.evaluate(results[app, net])
                 rows.append(
                     {
                         "app": app,
@@ -55,11 +61,15 @@ def run_table5(
     apps: tuple[str, ...] = APP_ORDER,
     mesh_width: int | None = None,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Table V: link utilization % and unicasts-per-broadcast on ATAC+."""
+    specs = [
+        spec_for(app, network="atac+", mesh_width=mesh_width, scale=scale)
+        for app in apps
+    ]
     rows = []
-    for app in apps:
-        res = run_app(app, network="atac+", mesh_width=mesh_width, scale=scale)
+    for app, res in zip(apps, run_batch(specs, jobs=jobs)):
         upb = res.unicasts_per_broadcast
         rows.append(
             {

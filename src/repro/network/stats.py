@@ -123,3 +123,10 @@ class NetworkStats:
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot (for results serialization)."""
         return {f.name: getattr(self, f.name) for f in fields(NetworkStats)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NetworkStats":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored so old
+        store entries with extra counters deserialize cleanly."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})

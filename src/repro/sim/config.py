@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 
 from repro.coherence.directory import Protocol
 from repro.network.atac import AtacNetwork
@@ -70,6 +72,26 @@ class SystemConfig:
     @property
     def n_cores(self) -> int:
         return self.mesh_width * self.mesh_width
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (enum fields become their values)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["protocol"] = self.protocol.value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SystemConfig":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        if isinstance(kwargs.get("protocol"), str):
+            kwargs["protocol"] = Protocol(kwargs["protocol"])
+        return cls(**kwargs)
+
+    def content_hash(self) -> str:
+        """Deterministic digest of every field; two configs with equal
+        hashes instantiate behaviourally identical systems."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
     def scaled(self, mesh_width: int, cluster_width: int = 4, **overrides) -> "SystemConfig":
         """A smaller chip with caches shrunk in proportion, for tests.

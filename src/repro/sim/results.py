@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.coherence.l2controller import CacheCounters
 from repro.network.stats import NetworkStats
@@ -79,6 +79,31 @@ class RunResult:
     def unicasts_per_broadcast(self) -> float:
         """Table V's metric (ONet traffic only)."""
         return self.network_stats.unicasts_per_broadcast()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (the result store's payload).
+
+        Nested counter bundles flatten to plain dicts; ``from_dict``
+        reverses the conversion exactly, so a store round trip is
+        byte-identical under ``json.dumps(..., sort_keys=True)``.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "network_stats":
+                value = value.as_dict()
+            elif f.name == "cache_counters":
+                value = value.as_dict()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        kwargs["network_stats"] = NetworkStats.from_dict(kwargs["network_stats"])
+        kwargs["cache_counters"] = CacheCounters.from_dict(kwargs["cache_counters"])
+        return cls(**kwargs)
 
     def summary(self) -> dict[str, float]:
         """Compact numeric snapshot for experiment tables."""

@@ -12,9 +12,12 @@ from repro.experiments.common import format_table, make_config, run_app
 
 @pytest.fixture(autouse=True)
 def no_disk_cache(monkeypatch, tmp_path):
-    """Keep the real run cache pristine; use a temp dir per test."""
+    """Keep the real run cache pristine; use a temp dir per test.
+
+    The store resolves ``REPRO_CACHE_DIR`` at call time, so the env
+    override alone is sufficient.
+    """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    monkeypatch.setattr(common, "_CACHE_DIR", tmp_path)
 
 
 class TestMakeConfig:
@@ -43,12 +46,12 @@ class TestRunApp:
         cached = run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
         assert cached.completion_cycles == first.completion_cycles
         assert cached.network_stats.as_dict() == first.network_stats.as_dict()
-        assert list(tmp_path.glob("run_*.pkl"))
+        assert list(tmp_path.glob("run_*.json"))
 
     def test_cache_keys_distinguish_configs(self, tmp_path):
         run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
         run_app("lu_contig", network="emesh-pure", mesh_width=8, scale=0.1)
-        assert len(list(tmp_path.glob("run_*.pkl"))) == 2
+        assert len(list(tmp_path.glob("run_*.json"))) == 2
 
     def test_protocol_affects_run(self):
         a = run_app("barnes", mesh_width=8, scale=0.15,
@@ -60,7 +63,18 @@ class TestRunApp:
     def test_cache_disable_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE", "0")
         run_app("lu_contig", network="atac+", mesh_width=8, scale=0.1)
-        assert not list(tmp_path.glob("run_*.pkl"))
+        assert not list(tmp_path.glob("run_*.json"))
+
+    def test_mesh_width_env_read_at_call_time(self, monkeypatch):
+        """Setting REPRO_MESH_WIDTH after import must take effect."""
+        monkeypatch.setenv("REPRO_MESH_WIDTH", "8")
+        res = run_app("lu_contig", scale=0.05)
+        assert res.n_cores == 64
+        assert common.default_mesh_width() == 8
+
+    def test_scale_env_read_at_call_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert common.default_scale() == 0.05
 
 
 class TestFormatTable:

@@ -44,6 +44,59 @@ class TestPortResource:
         for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
             assert s2 >= e1
 
+    def test_reservation_order_is_service_order(self):
+        """Reservation order wins: a later call queues behind an earlier
+        one even if its ``earliest`` is smaller (FCFS in call order, the
+        engine's time-ordering contract)."""
+        p = PortResource()
+        first = p.reserve(5, 10)  # occupies [5, 15)
+        second = p.reserve(2, 3)  # asked for t=2, must wait for the port
+        assert first == 5
+        assert second == 15
+        assert p.free_at == 18
+
+    def test_zero_duration_reservation(self):
+        """A zero-cycle reservation is a no-op on port state: it neither
+        advances ``free_at`` nor accrues busy time, and still reports a
+        correct start."""
+        p = PortResource()
+        p.reserve(0, 7)
+        start = p.reserve(0, 0)
+        assert start == 7  # queued behind the busy interval...
+        assert p.free_at == 7  # ...but holds the port for zero cycles
+        assert p.busy_cycles == 7
+        assert p.reserve(3, 4) == 7  # next real reservation unaffected
+
+    def test_zero_duration_on_idle_port(self):
+        p = PortResource()
+        assert p.reserve(9, 0) == 9
+        assert p.free_at == 9
+        assert p.busy_cycles == 0
+
+    def test_saturation_free_at_runaway(self):
+        """Offered load > capacity: ``free_at`` diverges linearly from
+        wall-clock time -- the mechanism behind Figure 3's hockey stick."""
+        p = PortResource()
+        # 1 packet per cycle offered, 2 cycles of service each
+        backlogs = []
+        for t in range(100):
+            p.reserve(t, 2)
+            backlogs.append(p.free_at - (t + 1))
+        # backlog grows monotonically, ~1 cycle per injected packet
+        assert backlogs == sorted(backlogs)
+        assert backlogs[-1] == pytest.approx(100, abs=2)
+        # queueing delay experienced by the next arrival diverges too
+        assert p.reserve(100, 2) - 100 == pytest.approx(101, abs=2)
+
+    def test_underload_free_at_tracks_wall_clock(self):
+        """Below capacity the port drains: no backlog accumulates."""
+        p = PortResource()
+        for t in range(0, 100, 4):  # every 4 cycles, 2 cycles of service
+            start = p.reserve(t, 2)
+            assert start == t  # never queued
+        assert p.free_at == 98
+        assert p.busy_cycles == 50
+
 
 class TestMultiPortResource:
     def test_two_servers_run_in_parallel(self):
@@ -67,6 +120,52 @@ class TestMultiPortResource:
         m.reserve(0, 1)
         # server 1 frees at t=1, so next starts there
         assert m.reserve(0, 5) == 1
+
+    def test_rejects_negative(self):
+        m = MultiPortResource(2)
+        with pytest.raises(ValueError):
+            m.reserve(-1, 1)
+        with pytest.raises(ValueError):
+            m.reserve(0, -1)
+
+    def test_reservation_order_is_service_order(self):
+        """With every server busy, later calls queue in call order."""
+        m = MultiPortResource(2)
+        m.reserve(0, 10)
+        m.reserve(0, 20)
+        # both servers busy; the next two go to whichever frees first
+        assert m.reserve(0, 5) == 10
+        assert m.reserve(0, 5) == 15
+
+    def test_zero_duration_reservation(self):
+        m = MultiPortResource(2)
+        m.reserve(0, 6)
+        m.reserve(0, 8)
+        start = m.reserve(0, 0)
+        assert start == 6  # earliest-free server
+        assert sorted(m.free_at) == [6, 8]  # state untouched
+        assert m.busy_cycles == 14
+
+    def test_saturation_free_at_runaway(self):
+        """k servers saturate at k reservations per service time; beyond
+        that the pooled backlog diverges just like a single port."""
+        m = MultiPortResource(2)
+        backlogs = []
+        # offered: 1/cycle x 4-cycle service on 2 servers = 2x capacity
+        for t in range(100):
+            m.reserve(t, 4)
+            backlogs.append(min(m.free_at) - (t + 1))
+        assert backlogs == sorted(backlogs)
+        assert min(m.free_at) >= 190  # ~2 cycles of backlog per arrival
+        assert m.busy_cycles == 400
+
+    def test_at_capacity_no_backlog(self):
+        """Exactly k concurrent streams keep both servers busy with no
+        queueing: start times track arrivals."""
+        m = MultiPortResource(2)
+        for t in range(0, 40, 2):  # 2 arrivals per 4-cycle service window
+            assert m.reserve(t, 4) <= t + 2
+        assert max(m.free_at) <= 44
 
 
 class TestMeshTiming:
