@@ -9,7 +9,9 @@ Usage::
     python -m repro all                  # everything, in figure order
     python -m repro ablations
     python -m repro run --apps barnes,radix --networks atac+ --jobs 4
+    python -m repro run --apps barnes --profile   # cProfile the simulator
     python -m repro sweep --jobs 4       # (apps x networks) design sweep
+    python -m repro bench --check        # perf-regression harness
 
 ``--jobs`` bounds the runner's worker processes for every experiment
 (it exports ``REPRO_JOBS``, which the figure drivers honour); scale
@@ -110,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=42,
         help="trace-generation seed for 'run'/'sweep' (default 42)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="for 'run': cProfile the batch in-process (forces --jobs 1, "
+             "disables the run cache) and print the top 25 functions by "
+             "cumulative time to stderr",
+    )
     return parser
 
 
@@ -148,8 +156,40 @@ def _sweep(args, networks_default: tuple[str, ...]) -> int:
     return 0
 
 
+def _profiled_sweep(args, networks_default: tuple[str, ...]) -> int:
+    """`run --profile`: cProfile the whole batch in this process.
+
+    Profiling across pool workers would attribute everything to
+    ``ProcessPoolExecutor`` plumbing, so the batch is forced onto one
+    in-process worker and the cache is bypassed (a cache hit profiles
+    JSON decoding, not the simulator).
+    """
+    import cProfile
+    import pstats
+
+    os.environ["REPRO_JOBS"] = "1"
+    os.environ["REPRO_CACHE"] = "0"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = _sweep(args, networks_default)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # bench has its own flag set (reps/check/regression threshold),
+        # so it parses its own argv instead of sharing the main parser.
+        from repro.experiments.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.mesh_width is not None:
         os.environ["REPRO_MESH_WIDTH"] = str(args.mesh_width)
@@ -164,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.experiment == "run":
+        if args.profile:
+            return _profiled_sweep(args, networks_default=("atac+",))
         return _sweep(args, networks_default=("atac+",))
     if args.experiment == "sweep":
         return _sweep(args, networks_default=("atac+", "emesh-bcast"))
@@ -175,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  run    (explicit app/network batch through the runner)")
         print("  sweep  (apps x networks design sweep through the runner)")
+        print("  bench  (perf-regression harness; see 'bench --help')")
         print("  all")
         return 0
     if args.experiment == "all":

@@ -17,6 +17,10 @@ class CacheState(Enum):
     SHARED = "S"
     MODIFIED = "M"
 
+    # Identity hash (see MsgType): members are singletons and states are
+    # hashed on the simulator's hottest paths.
+    __hash__ = object.__hash__
+
 
 class SetAssocCache:
     """An LRU set-associative cache of line ids.
@@ -51,7 +55,7 @@ class SetAssocCache:
     # ------------------------------------------------------------------
     def lookup(self, line: int, touch: bool = True) -> CacheState:
         """State of a line (``INVALID`` if absent); updates LRU on hit."""
-        s = self._set_of(line)
+        s = self._sets[line % self.n_sets]
         state = s.get(line)
         if state is None:
             return CacheState.INVALID
@@ -64,7 +68,7 @@ class SetAssocCache:
         if the set overflowed, else ``None``."""
         if state is CacheState.INVALID:
             raise ValueError("cannot install a line in INVALID state")
-        s = self._set_of(line)
+        s = self._sets[line % self.n_sets]
         if line in s:
             s[line] = state
             s.move_to_end(line)
@@ -77,7 +81,7 @@ class SetAssocCache:
 
     def set_state(self, line: int, state: CacheState) -> None:
         """Change the state of a resident line (or drop it via INVALID)."""
-        s = self._set_of(line)
+        s = self._sets[line % self.n_sets]
         if state is CacheState.INVALID:
             s.pop(line, None)
             return
@@ -87,7 +91,7 @@ class SetAssocCache:
 
     def invalidate(self, line: int) -> CacheState:
         """Drop a line; returns its previous state (INVALID if absent)."""
-        s = self._set_of(line)
+        s = self._sets[line % self.n_sets]
         return s.pop(line, CacheState.INVALID)
 
     def occupancy(self) -> int:

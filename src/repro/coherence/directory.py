@@ -54,7 +54,7 @@ class DirState(Enum):
     MODIFIED = "M"
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """One directory line's stable state."""
 
@@ -72,7 +72,7 @@ class DirectoryEntry:
         self.owner = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transaction:
     """In-flight request state for a busy line."""
 
@@ -93,7 +93,7 @@ class _Transaction:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryStats:
     """Per-directory event counters for the energy model."""
 

@@ -29,9 +29,13 @@ from repro.coherence.messages import CoherenceMsg, MsgType
 from repro.coherence.sequencing import SequenceTracker
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheCounters:
-    """Per-core cache event counters for the energy model."""
+    """Per-core cache event counters for the energy model.
+
+    ``slots=True``: the L1-I counter alone is bumped once per retired
+    instruction.
+    """
 
     l1i_accesses: int = 0
     l1d_reads: int = 0
@@ -91,6 +95,9 @@ class L2Controller:
     ) -> None:
         self.core = core
         self.fabric = fabric
+        # Protocol-constant, read on every broadcast delivery: resolved
+        # once instead of through the fabric property per message.
+        self._all_ack: bool = bool(fabric.all_cores_ack_broadcasts)
         self.l1d = SetAssocCache(l1_sets, l1_ways)
         self.l2 = SetAssocCache(l2_sets, l2_ways)
         self.l1_hit_latency = l1_hit_latency
@@ -180,12 +187,16 @@ class L2Controller:
     # ------------------------------------------------------------------
     def handle(self, msg: CoherenceMsg, now: int) -> None:
         mt = msg.mtype
-        slice_id = self.fabric.slice_of_home(msg.sender)
+        # slice_of_home is only needed for sequencing decisions, so it is
+        # computed inside the branches that use it -- replies and acks
+        # (the bulk of traffic) skip it entirely.
         if mt is MsgType.INV_BCAST:
-            self._handle_bcast(msg, now, slice_id)
+            self.handle_broadcast(msg, now)
             return
         if mt in (MsgType.INV_REQ, MsgType.FLUSH_REQ, MsgType.WB_REQ):
-            if self.sequencing and self.tracker.unicast_is_early(slice_id, msg.seq):
+            if self.sequencing and self.tracker.unicast_is_early(
+                self.fabric.slice_of_home(msg.sender), msg.seq
+            ):
                 # The directory sent a broadcast we have not seen yet:
                 # hold this request to preserve per-address FIFO order.
                 self.counters.unicasts_buffered_early += 1
@@ -205,7 +216,13 @@ class L2Controller:
         raise ValueError(f"L2 controller at core {self.core} got {mt}")
 
     # -- broadcast invalidations ------------------------------------------
-    def _handle_bcast(self, msg: CoherenceMsg, now: int, slice_id: int) -> None:
+    def handle_broadcast(self, msg: CoherenceMsg, now: int) -> None:
+        """Entry point for INV_BCAST deliveries.
+
+        Identical to ``handle`` for broadcast messages; public so the
+        batched fan-out path can skip the message-type dispatch it has
+        already done once for the whole group.
+        """
         if (
             self.sequencing
             and self.mshr is not None
@@ -216,7 +233,7 @@ class L2Controller:
             # (paper's exact buffered case).  Reconciled on reply.
             self.counters.bcast_invs_buffered += 1
             self._pending_bcasts.setdefault(msg.address, []).append(msg)
-            if self.fabric.all_cores_ack_broadcasts:
+            if self._all_ack:
                 # Dir_kB counts an ack from every core; ours cannot wait
                 # for the reply (the directory's broadcast transaction
                 # may be what our queued SH_REQ is blocked behind).  We
@@ -242,7 +259,7 @@ class L2Controller:
             self.l2.set_state(msg.address, CacheState.INVALID)
             self.l1d.invalidate(msg.address)
         # ACKwise: only true sharers respond.  Dir_kB: everyone does.
-        must_ack = may_ack and (had_line or self.fabric.all_cores_ack_broadcasts)
+        must_ack = may_ack and (had_line or self._all_ack)
         if must_ack:
             self.fabric.send_msg(
                 CoherenceMsg(
@@ -258,7 +275,7 @@ class L2Controller:
         """Advance the slice tracker and release unblocked early unicasts."""
         self.tracker.note_broadcast(slice_id, seq)
         if not self._early_unicasts:
-            return
+            return  # common case: nothing buffered
         still_early = []
         for m in self._early_unicasts:
             s = self.fabric.slice_of_home(m.sender)
@@ -369,7 +386,7 @@ class L2Controller:
                 # acks now (this core was a counted sharer).
                 self._process_bcast(
                     b, now + 1, note=True,
-                    may_ack=not self.fabric.all_cores_ack_broadcasts,
+                    may_ack=not self._all_ack,
                 )
         self._complete_mshr(now)
 

@@ -14,6 +14,12 @@ from repro.network.types import CONTROL_MSG_BITS, DATA_MSG_BITS
 
 
 class MsgType(Enum):
+    # Identity hash: Enum.__hash__ is a Python-level function (it hashes
+    # the member name) and message types key frozenset/dict lookups on
+    # every delivery.  Members are singletons, so identity hashing is
+    # consistent with the (identity) equality semantics.
+    __hash__ = object.__hash__
+
     # requests from an L2 controller to a home directory
     SH_REQ = auto()        # read miss: want a shared copy
     EX_REQ = auto()        # write miss/upgrade: want an exclusive copy
@@ -58,7 +64,7 @@ DATA_BEARING = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceMsg:
     """One protocol message.
 

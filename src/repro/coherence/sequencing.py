@@ -34,7 +34,8 @@ _HALF = 1 << (SEQ_BITS - 1)
 
 def seq_after(a: int, b: int) -> bool:
     """True if sequence number ``a`` is logically after ``b`` (mod 2^16)."""
-    return (a - b) % SEQ_MOD not in (0,) and (a - b) % SEQ_MOD < _HALF
+    d = (a - b) % SEQ_MOD
+    return 0 < d < _HALF
 
 
 class DirectorySequencer:

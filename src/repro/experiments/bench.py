@@ -1,0 +1,281 @@
+"""Perf-regression harness: `repro bench`.
+
+The simulator's hot paths (route caching, batched broadcast delivery,
+allocation-free event dispatch -- see DESIGN.md section 9) are guarded
+by two complementary nets:
+
+* **correctness** -- ``tests/integration/test_fastpath_equivalence.py``
+  pins simulated results bit-for-bit;
+* **speed** -- this module, which times a fixed set of representative
+  runs and records them under ``benchmarks/perf/BENCH_<rev>.json`` so
+  successive revisions can be compared.
+
+Each record holds, per benchmark run: best-of-N wall-clock for the
+simulation proper, discrete events processed, events/second, plus the
+process peak RSS.  ``--check`` compares against the most recent record
+from a *different* revision and fails (exit 1) when any shared
+benchmark slowed down by more than ``--max-regression`` (default 1.5x)
+-- loose enough to ride out machine noise, tight enough to catch a
+hot-path regression.
+
+Timings are machine-dependent; records are only meaningfully compared
+against records produced on the same machine.  The CI perf job is
+therefore non-blocking.
+
+Usage::
+
+    python -m repro bench                    # record + compare
+    python -m repro bench --check            # exit 1 on >1.5x slowdown
+    python -m repro bench --small --reps 1   # quick smoke (w8, scale .2)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: The representative (app, network) pairs: one broadcast-heavy ATAC+
+#: run, one broadcast-tree mesh run, one pure-unicast mesh run.
+BENCH_APPS = (
+    ("barnes", "atac+"),
+    ("fmm", "emesh-bcast"),
+    ("dynamic_graph", "emesh-pure"),
+)
+
+#: Default scale: the benchmark-suite operating point (256 cores).
+FULL = {"mesh_width": 16, "scale": 0.6}
+#: ``--small``: a seconds-long smoke configuration for CI and tests.
+SMALL = {"mesh_width": 8, "scale": 0.2}
+
+
+def bench_specs(small: bool = False):
+    """The benchmark :class:`~repro.experiments.runspec.RunSpec` list."""
+    from repro.experiments.runspec import RunSpec
+
+    size = SMALL if small else FULL
+    return [RunSpec(app=app, network=net, **size) for app, net in BENCH_APPS]
+
+
+def measure_spec(spec, reps: int = 3) -> dict:
+    """Run ``spec`` ``reps`` times; report the best simulation wall-clock.
+
+    The simulation is driven directly (not through ``spec.execute()``)
+    so the event count can be read off the queue afterwards; trace
+    generation is timed separately since it is deterministic work that
+    does not scale with simulator throughput.
+    """
+    from repro.sim.system import ManycoreSystem
+    from repro.workloads.splash import APP_PROFILES, generate_traces
+
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    config = spec.config()
+    best_sim = float("inf")
+    best_gen = float("inf")
+    events = 0
+    cycles = 0
+    for _ in range(reps):
+        system = ManycoreSystem(config)
+        t0 = time.perf_counter()
+        traces = generate_traces(
+            APP_PROFILES[spec.app],
+            system.topology,
+            l2_lines=config.l2_sets * config.l2_ways,
+            scale=spec.scale,
+            seed=spec.seed,
+        )
+        t1 = time.perf_counter()
+        result = system.run(traces, app=spec.app)
+        t2 = time.perf_counter()
+        best_gen = min(best_gen, t1 - t0)
+        best_sim = min(best_sim, t2 - t1)
+        events = system.eventq.events_processed
+        cycles = result.completion_cycles
+    return {
+        "wall_s": round(best_gen + best_sim, 4),
+        "sim_s": round(best_sim, 4),
+        "tracegen_s": round(best_gen, 4),
+        "events": events,
+        "events_per_sec": round(events / best_sim) if best_sim > 0 else 0,
+        "completion_cycles": cycles,
+    }
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (Linux ``ru_maxrss`` unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def make_record(rev: str, reps: int, small: bool) -> dict:
+    """Time every benchmark spec and bundle the results."""
+    results = {}
+    for spec in bench_specs(small):
+        label = spec.label()
+        print(f"  {label} ...", end="", flush=True, file=sys.stderr)
+        results[label] = measure_spec(spec, reps=reps)
+        print(
+            f" {results[label]['sim_s']:.2f}s sim, "
+            f"{results[label]['events_per_sec']:,} events/s",
+            file=sys.stderr,
+        )
+    return {
+        "rev": rev,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "reps": reps,
+        "small": small,
+        "python": sys.version.split()[0],
+        "peak_rss_kb": peak_rss_kb(),
+        "results": results,
+    }
+
+
+def load_records(bench_dir: Path) -> list[dict]:
+    """All ``BENCH_*.json`` records, oldest first by ``created_at``."""
+    records = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            rec = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(rec, dict) and "results" in rec and "created_at" in rec:
+            records.append(rec)
+    records.sort(key=lambda r: r["created_at"])
+    return records
+
+
+def previous_record(records: list[dict], rev: str, small: bool) -> dict | None:
+    """Most recent record from a different revision at the same size."""
+    for rec in reversed(records):
+        if rec.get("rev") != rev and bool(rec.get("small")) == small:
+            return rec
+    return None
+
+
+def compare(current: dict, baseline: dict, max_regression: float):
+    """Per-benchmark wall-clock ratios vs the baseline record.
+
+    Returns ``(lines, regressions)`` -- human-readable comparison lines
+    and the subset of benchmark labels slower than ``max_regression``x.
+    """
+    lines = []
+    regressions = []
+    base_results = baseline["results"]
+    for label, cur in current["results"].items():
+        base = base_results.get(label)
+        if base is None:
+            lines.append(f"  {label}: no baseline entry")
+            continue
+        ratio = cur["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else 1.0
+        verdict = "ok"
+        if ratio > max_regression:
+            verdict = "REGRESSION"
+            regressions.append(label)
+        elif ratio < 1 / max_regression:
+            verdict = "improved"
+        lines.append(
+            f"  {label}: {base['wall_s']:.2f}s -> {cur['wall_s']:.2f}s "
+            f"({ratio:.2f}x, {verdict})"
+        )
+    return lines, regressions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Record and compare simulator wall-clock benchmarks.",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per benchmark; best wall-clock wins (default 3)",
+    )
+    parser.add_argument(
+        "--rev", default=None,
+        help="revision tag for the record (default: git rev-parse --short)",
+    )
+    parser.add_argument(
+        "--out-dir", default="benchmarks/perf", metavar="DIR",
+        help="directory for BENCH_<rev>.json records",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="smoke-test scale (8x8 mesh, scale 0.2) instead of 16x16/0.6",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any benchmark regressed past --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=1.5, metavar="R",
+        help="slowdown ratio treated as a regression with --check "
+             "(default 1.5)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="measure and compare without writing a record",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.reps < 1:
+        print("--reps must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_regression <= 1.0:
+        print("--max-regression must be > 1.0", file=sys.stderr)
+        return 2
+    rev = args.rev or current_rev()
+    bench_dir = Path(args.out_dir)
+    baseline = previous_record(load_records(bench_dir), rev, args.small)
+
+    size = "small" if args.small else "full"
+    print(f"benchmarking rev {rev} ({size}, best of {args.reps}):",
+          file=sys.stderr)
+    record = make_record(rev, reps=args.reps, small=args.small)
+
+    if not args.no_write:
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        out = bench_dir / f"BENCH_{rev}.json"
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+
+    if baseline is None:
+        print("no prior record from another revision; nothing to compare")
+        return 0
+    print(f"vs rev {baseline['rev']} ({baseline['created_at']}):")
+    lines, regressions = compare(record, baseline, args.max_regression)
+    print("\n".join(lines))
+    if regressions and args.check:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed past "
+            f"{args.max_regression}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    # Runnable standalone (``python src/repro/experiments/bench.py``) so
+    # the harness can be pointed at an older checkout via PYTHONPATH to
+    # produce that revision's baseline record.
+    raise SystemExit(main())

@@ -70,6 +70,21 @@ class AtacNetwork(_MeshBase):
             for c in range(n_hubs)
             for i, core in enumerate(topology.cluster_cores(c))
         }
+        # Per-core geometry, flattened once: cluster id and hub position
+        # are needed on every send, and the topology calls (int divides
+        # plus bounds checks) showed up in per-packet profiles.
+        self._cluster_of_core = tuple(
+            topology.cluster_of(c) for c in range(topology.n_cores)
+        )
+        self._hub_of_core = tuple(
+            topology.hub_core(cluster) for cluster in self._cluster_of_core
+        )
+        # Oblivious policies answer use_onet from (src, dst) alone, so
+        # the verdict is memoized per core pair; adaptive policies
+        # (oblivious=False) are consulted on every send.
+        self._use_onet_cache: dict[int, bool] | None = (
+            {} if self.routing.oblivious else None
+        )
         self.receive_nets = [
             ReceiveNetwork(
                 cluster=c,
@@ -91,7 +106,7 @@ class AtacNetwork(_MeshBase):
     # ------------------------------------------------------------------
     def _to_hub(self, src: int, t: int, n_flits: int) -> int:
         """ENet trip from a core to its cluster hub, plus hub ingress."""
-        hub_core = self.topology.hub_core(self.topology.cluster_of(src))
+        hub_core = self._hub_of_core[src]
         if src != hub_core:
             t = self._traverse(src, hub_core, t, n_flits)
         self.stats.hub_flit_traversals += n_flits
@@ -100,12 +115,22 @@ class AtacNetwork(_MeshBase):
     # ------------------------------------------------------------------
     def _send_unicast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
         topo = self.topology
-        if not self.routing.use_onet(topo, pkt.src, pkt.dst):
+        cache = self._use_onet_cache
+        if cache is None:
+            use_onet = self.routing.use_onet(topo, pkt.src, pkt.dst)
+        else:
+            key = pkt.src * self._n_cores + pkt.dst
+            use_onet = cache.get(key)
+            if use_onet is None:
+                use_onet = cache[key] = self.routing.use_onet(
+                    topo, pkt.src, pkt.dst
+                )
+        if not use_onet:
             arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
             return [(pkt.dst, arrival)]
 
-        src_cluster = topo.cluster_of(pkt.src)
-        dst_cluster = topo.cluster_of(pkt.dst)
+        src_cluster = self._cluster_of_core[pkt.src]
+        dst_cluster = self._cluster_of_core[pkt.dst]
         at_hub = self._to_hub(pkt.src, pkt.time, n_flits)
         _, hub_arrival = self.onet_links[src_cluster].transmit(
             at_hub, n_flits, broadcast=False
@@ -120,24 +145,27 @@ class AtacNetwork(_MeshBase):
     # ------------------------------------------------------------------
     def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
         topo = self.topology
-        src_cluster = topo.cluster_of(pkt.src)
-        at_hub = self._to_hub(pkt.src, pkt.time, n_flits)
+        src = pkt.src
+        src_cluster = self._cluster_of_core[src]
+        at_hub = self._to_hub(src, pkt.time, n_flits)
         _, hub_arrival = self.onet_links[src_cluster].transmit(
             at_hub, n_flits, broadcast=True
         )
         deliveries: list[tuple[int, int]] = []
-        for cluster in range(topo.n_clusters):
-            if cluster == src_cluster:
-                # The sender's own cluster is fed directly from the hub
-                # (its own modulated light is not re-detected).
-                ready = at_hub
-            else:
-                self.stats.hub_flit_traversals += n_flits
-                ready = hub_arrival + self.hub_delay
-            arrival = self.receive_nets[cluster].deliver_broadcast(ready, n_flits)
+        append = deliveries.append
+        n_clusters = topo.n_clusters
+        receive_nets = self.receive_nets
+        remote_ready = hub_arrival + self.hub_delay
+        # Every cluster but the sender's crosses its receive-side hub.
+        self.stats.hub_flit_traversals += n_flits * (n_clusters - 1)
+        for cluster in range(n_clusters):
+            # The sender's own cluster is fed directly from the hub
+            # (its own modulated light is not re-detected).
+            ready = at_hub if cluster == src_cluster else remote_ready
+            arrival = receive_nets[cluster].deliver_broadcast(ready, n_flits)
             for core in topo.cluster_cores(cluster):
-                if core != pkt.src:
-                    deliveries.append((core, arrival))
+                if core != src:
+                    append((core, arrival))
         return deliveries
 
     # ------------------------------------------------------------------

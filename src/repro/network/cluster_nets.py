@@ -82,12 +82,14 @@ class ReceiveNetwork:
         Both receive networks replicate the message (each serves half
         the cores); delivery completes when the later one finishes.
         """
-        arrivals = [
-            p.reserve(time, n_flits) + self.timing.link_delay + n_flits
-            for p in self._ports
-        ]
+        tail = self.timing.link_delay + n_flits
+        done = 0
+        for p in self._ports:
+            arrival = p.reserve(time, n_flits) + tail
+            if arrival > done:
+                done = arrival
         self.stats.receive_net_broadcast_flits += n_flits
-        return max(arrivals)
+        return done
 
     @property
     def backlog_at(self) -> int:

@@ -105,6 +105,9 @@ class Network(ABC):
         self.flit_bits = flit_bits
         self.stats = NetworkStats()
         self._last_send_time = 0
+        # size_bits -> flit count; traffic uses a couple of distinct
+        # message sizes, so the ceil-divide is paid once per size.
+        self._n_flits_cache: dict[int, int] = {}
 
     @property
     @abstractmethod
@@ -132,7 +135,11 @@ class Network(ABC):
                 f"t={self._last_send_time}"
             )
         self._last_send_time = pkt.time
-        n_flits = pkt.n_flits(self.flit_bits)
+        n_flits = self._n_flits_cache.get(pkt.size_bits)
+        if n_flits is None:
+            n_flits = self._n_flits_cache[pkt.size_bits] = pkt.n_flits(
+                self.flit_bits
+            )
         s = self.stats
         s.packets_sent += 1
         s.injected_flits += n_flits
@@ -140,18 +147,41 @@ class Network(ABC):
             s.broadcasts_sent += 1
             deliveries = self._send_broadcast(pkt, n_flits)
             s.received_broadcast_flits += n_flits * len(deliveries)
-        else:
-            if pkt.dst == pkt.src:
-                # Local delivery: no network resources involved.
-                s.unicasts_sent += 1
-                s.received_unicast_flits += n_flits
-                s.record_latency(1)
-                return [(pkt.dst, pkt.time + 1)]
+            # Accumulate latency inline (same arithmetic as
+            # record_latency) rather than one method call per delivery
+            # -- a broadcast has n_cores - 1 deliveries.
+            t = pkt.time
+            lat_sum = 0
+            lat_max = s.latency_max
+            for _, arrival in deliveries:
+                lat = arrival - t
+                if lat < 0:
+                    raise ValueError(
+                        f"latency must be non-negative, got {lat}"
+                    )
+                lat_sum += lat
+                if lat > lat_max:
+                    lat_max = lat
+            s.latency_sum += lat_sum
+            s.latency_count += len(deliveries)
+            s.latency_max = lat_max
+            return deliveries
+        if pkt.dst == pkt.src:
+            # Local delivery: no network resources involved.
             s.unicasts_sent += 1
-            deliveries = self._send_unicast(pkt, n_flits)
-            s.received_unicast_flits += n_flits * len(deliveries)
-        for _, arrival in deliveries:
-            s.record_latency(arrival - pkt.time)
+            s.received_unicast_flits += n_flits
+            s.record_latency(1)
+            return [(pkt.dst, pkt.time + 1)]
+        s.unicasts_sent += 1
+        deliveries = self._send_unicast(pkt, n_flits)
+        s.received_unicast_flits += n_flits
+        lat = deliveries[0][1] - pkt.time
+        if lat < 0:
+            raise ValueError(f"latency must be non-negative, got {lat}")
+        s.latency_sum += lat
+        s.latency_count += 1
+        if lat > s.latency_max:
+            s.latency_max = lat
         return deliveries
 
     def reset_stats(self) -> NetworkStats:

@@ -11,13 +11,25 @@ handling:
   applications".
 * **EMesh-BCast**: routers replicate flits along an XY spanning tree,
   so a broadcast costs one tree traversal.
+
+Hot-path note: ``_traverse`` is called once per mesh packet (and once
+per EMesh-Pure broadcast destination).  Port state lives in two flat
+``cores x 4`` integer arrays (``_free_at``, ``_busy``) indexed by
+``core * 4 + direction``; a cached route is a tuple of such indices, so
+the per-hop reservation is pure list arithmetic -- the same arithmetic
+as ``PortResource.reserve``, without the object or the call.
 """
 
 from __future__ import annotations
 
-from repro.network.engine import MeshTiming, Network, PortResource
+from collections import deque
+
+from repro.network.engine import MeshTiming, Network
 from repro.network.topology import MeshTopology
 from repro.network.types import Packet
+
+#: Output-port direction indices in the flat port array.
+_EAST, _WEST, _SOUTH, _NORTH = 0, 1, 2, 3
 
 
 class _MeshBase(Network):
@@ -31,43 +43,112 @@ class _MeshBase(Network):
     ) -> None:
         super().__init__(topology, flit_bits)
         self.timing = timing if timing is not None else MeshTiming()
-        self._ports: dict[tuple[int, int], PortResource] = {}
+        self._n_cores = topology.n_cores
+        # Flat port-state arrays: entry core*4 + direction is the output
+        # port of that core's router facing that neighbour.  ``_free_at``
+        # is the cycle the port next becomes free; ``_busy`` accumulates
+        # occupied cycles (kept for symmetry with PortResource, though
+        # nothing reads it back for the mesh ports today).
+        self._free_at: list[int] = [0] * (topology.n_cores * 4)
+        self._busy: list[int] = [0] * (topology.n_cores * 4)
+        # Which port indices have been referenced by a route (the old
+        # lazily-created-port count, kept observable for tests).
+        self._port_seen = bytearray(topology.n_cores * 4)
+        # (src, dst) -> tuple of port indices along the XY route, in hop
+        # order.  Repeated sends between the same pair then reduce to a
+        # walk over two flat arrays -- no coordinate math.
+        self._route_ports: dict[int, tuple[int, ...]] = {}
 
-    def _port(self, u: int, v: int) -> PortResource:
-        """The output port of router ``u`` facing neighbour ``v``."""
-        key = (u, v)
-        port = self._ports.get(key)
-        if port is None:
-            port = self._ports[key] = PortResource()
-        return port
+    def _port_at(self, u: int, d: int) -> int:
+        """Index of output port ``d`` of router ``u``."""
+        idx = u * 4 + d
+        self._port_seen[idx] = 1
+        return idx
+
+    def _port(self, u: int, v: int) -> int:
+        """Index of the output port of router ``u`` facing neighbour ``v``."""
+        delta = v - u
+        if delta == 1:
+            d = _EAST
+        elif delta == -1:
+            d = _WEST
+        elif delta == self.topology.width:
+            d = _SOUTH
+        elif delta == -self.topology.width:
+            d = _NORTH
+        else:
+            raise ValueError(f"cores {u} and {v} are not mesh neighbours")
+        return self._port_at(u, d)
+
+    def _route_ports_for(self, src: int, dst: int) -> tuple[int, ...]:
+        """Port indices along the XY route src -> dst, in hop order."""
+        w = self.topology.width
+        x, y = src % w, src // w
+        dx, dy = dst % w, dst // w
+        ports: list[int] = []
+        u = src
+        if x != dx:
+            step, d = (1, _EAST) if dx > x else (-1, _WEST)
+            while x != dx:
+                ports.append(self._port_at(u, d))
+                x += step
+                u += step
+        if y != dy:
+            d = _SOUTH if dy > y else _NORTH
+            step = 1 if dy > y else -1
+            ustep = w if dy > y else -w
+            while y != dy:
+                ports.append(self._port_at(u, d))
+                y += step
+                u += ustep
+        return tuple(ports)
 
     def _traverse(self, src: int, dst: int, t: int, n_flits: int) -> int:
         """Route one packet src->dst starting at time t; returns arrival.
 
-        Walks the XY path reserving each hop's output port; counts
-        router/link flit traversals for the energy model.
+        Reserves each output port along the (cached) XY route; counts
+        router/link flit traversals for the energy model.  Reservations
+        are inlined (same arithmetic as ``PortResource.reserve``) --
+        this loop runs once per hop of every mesh packet and the call
+        and attribute overhead dominated it.
         """
-        path = self.topology.xy_route(src, dst)
-        hops = len(path) - 1
+        key = src * self._n_cores + dst
+        route = self._route_ports.get(key)
+        if route is None:
+            route = self._route_ports[key] = self._route_ports_for(src, dst)
+        hops = len(route)
         s = self.stats
         s.router_flit_traversals += n_flits * (hops + 1)  # incl. ejection router
         s.link_flit_traversals += n_flits * hops
         s.router_arbitrations += hops + 1
         head = t
         hop_latency = self.timing.hop_latency
-        for i in range(hops):
-            port = self._port(path[i], path[i + 1])
-            head = port.reserve(head, n_flits) + hop_latency
+        free_at = self._free_at
+        busy = self._busy
+        for i in route:
+            free = free_at[i]
+            start = head if head > free else free
+            free_at[i] = start + n_flits
+            busy[i] += n_flits
+            head = start + hop_latency
         # head has arrived; the tail needs the serialization time.
         return head + n_flits
 
     def mesh_port_count(self) -> int:
-        """Instantiated (lazily created) ports so far -- for tests."""
-        return len(self._ports)
+        """Ports referenced by some route so far -- for tests."""
+        return sum(self._port_seen)
 
 
 class EMeshPure(_MeshBase):
     """Plain electrical mesh: broadcasts are N-1 serialized unicasts."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # src -> ((dst, route-ports), ...) for every dst, plus the total
+        # hop count, built on a source's first broadcast.  A broadcast
+        # here is N-1 unicast traversals, so the per-destination route
+        # lookup is the dominant cost without this.
+        self._bcast_plan: dict[int, tuple] = {}
 
     @property
     def name(self) -> str:
@@ -77,21 +158,66 @@ class EMeshPure(_MeshBase):
         arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
         return [(pkt.dst, arrival)]
 
+    def _bcast_plan_for(self, src: int) -> tuple:
+        routes = []
+        total_hops = 0
+        route_cache = self._route_ports
+        n = self._n_cores
+        for dst in range(n):
+            if dst == src:
+                continue
+            key = src * n + dst
+            route = route_cache.get(key)
+            if route is None:
+                route = route_cache[key] = self._route_ports_for(src, dst)
+            routes.append((dst, route))
+            total_hops += len(route)
+        return tuple(routes), total_hops
+
     def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
         # The source's network interface injects one unicast per
         # destination; they contend for the source's output ports and
         # serialize there, which is exactly the EMesh-Pure penalty.
+        # Same reservation math as _traverse, run over the precomputed
+        # per-source plan (destinations in ascending order, as always).
+        src = pkt.src
+        plan = self._bcast_plan.get(src)
+        if plan is None:
+            plan = self._bcast_plan[src] = self._bcast_plan_for(src)
+        routes, total_hops = plan
+        s = self.stats
+        n_dsts = len(routes)
+        s.router_flit_traversals += n_flits * (total_hops + n_dsts)
+        s.link_flit_traversals += n_flits * total_hops
+        s.router_arbitrations += total_hops + n_dsts
+        t = pkt.time
+        hop_latency = self.timing.hop_latency
+        free_at = self._free_at
+        busy = self._busy
         deliveries = []
-        for dst in range(self.topology.n_cores):
-            if dst == pkt.src:
-                continue
-            arrival = self._traverse(pkt.src, dst, pkt.time, n_flits)
-            deliveries.append((dst, arrival))
+        append = deliveries.append
+        for dst, route in routes:
+            head = t
+            for i in route:
+                free = free_at[i]
+                start = head if head > free else free
+                free_at[i] = start + n_flits
+                busy[i] += n_flits
+                head = start + hop_latency
+            append((dst, head + n_flits))
         return deliveries
 
 
 class EMeshBCast(_MeshBase):
     """Electrical mesh with native multicast at each router."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # src -> (edges, order): the spanning tree flattened breadth-
+        # first into (parent_slot, port) pairs plus the canonical
+        # delivery order as (core, slot) pairs; built on a source's
+        # first broadcast.
+        self._bcast_plan: dict[int, tuple] = {}
 
     @property
     def name(self) -> str:
@@ -101,25 +227,64 @@ class EMeshBCast(_MeshBase):
         arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
         return [(pkt.dst, arrival)]
 
-    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
-        # Breadth-first traversal of the XY spanning tree.  Each tree
-        # edge is an independently reserved port, so replication fans
-        # out in parallel (native hardware multicast).
-        tree = self.topology.broadcast_tree(pkt.src)
-        hop_latency = self.timing.hop_latency
-        s = self.stats
-        deliveries: list[tuple[int, int]] = []
-        frontier = [(pkt.src, pkt.time)]
-        s.router_flit_traversals += n_flits  # source router
-        s.router_arbitrations += 1
+    def _bcast_plan_for(self, src: int) -> tuple:
+        """Flatten the XY spanning tree rooted at ``src`` for replay.
+
+        Nodes get *slots* in breadth-first visitation order (root = 0);
+        ``edges[i]`` is ``(parent_slot, port_index)`` for the node in
+        slot ``i + 1``, so a single pass over ``edges`` computes every
+        head time (a parent's slot always precedes its children's).
+        """
+        topo = self.topology
+        tree = topo.broadcast_tree(src)
+        slot_of = {src: 0}
+        edges: list[tuple[int, int]] = []
+        frontier = deque((src,))
         while frontier:
-            node, head = frontier.pop()
+            node = frontier.popleft()
+            parent_slot = slot_of[node]
             for child in tree[node]:
-                port = self._port(node, child)
-                child_head = port.reserve(head, n_flits) + hop_latency
-                s.router_flit_traversals += n_flits
-                s.link_flit_traversals += n_flits
-                s.router_arbitrations += 1
-                deliveries.append((child, child_head + n_flits))
-                frontier.append((child, child_head))
-        return deliveries
+                slot_of[child] = len(edges) + 1
+                edges.append((parent_slot, self._port(node, child)))
+                frontier.append(child)
+        order = tuple(
+            (core, slot_of[core]) for core in topo.broadcast_order(src)
+        )
+        return tuple(edges), order
+
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        # Breadth-first replay of the (precomputed) XY spanning tree.
+        # Each tree edge is an independently reserved port, so
+        # replication fans out in parallel (native hardware multicast).
+        # Per-node timing is traversal-order-independent (each tree edge
+        # is reserved exactly once and a child's head time depends only
+        # on its parent's), so the flattened BFS replay computes the
+        # same arrivals the engine always has.  Deliveries are emitted
+        # in the topology's canonical ``broadcast_order``: that order
+        # decides event-queue tie-breaks downstream and is frozen as
+        # part of the determinism contract.
+        src = pkt.src
+        plan = self._bcast_plan.get(src)
+        if plan is None:
+            plan = self._bcast_plan[src] = self._bcast_plan_for(src)
+        edges, order = plan
+        n_edges = len(edges)
+        s = self.stats
+        s.router_flit_traversals += n_flits * (n_edges + 1)  # + source router
+        s.link_flit_traversals += n_flits * n_edges
+        s.router_arbitrations += n_edges + 1
+        hop_latency = self.timing.hop_latency
+        free_at = self._free_at
+        busy = self._busy
+        heads = [0] * (n_edges + 1)
+        heads[0] = pkt.time
+        slot = 1
+        for parent_slot, i in edges:
+            head = heads[parent_slot]
+            free = free_at[i]
+            start = head if head > free else free
+            free_at[i] = start + n_flits
+            busy[i] += n_flits
+            heads[slot] = start + hop_latency
+            slot += 1
+        return [(core, heads[slot] + n_flits) for core, slot in order]

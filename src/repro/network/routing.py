@@ -29,6 +29,11 @@ from repro.network.topology import MeshTopology
 class RoutingPolicy(ABC):
     """Decides, per unicast, whether to use the optical path."""
 
+    #: True when ``use_onet`` depends only on (src, dst) -- i.e. the
+    #: policy is load-independent -- so callers may cache its answers
+    #: per core pair.  Adaptive (stateful) policies must set this False.
+    oblivious = True
+
     @abstractmethod
     def use_onet(self, topology: MeshTopology, src: int, dst: int) -> bool:
         """True if the unicast src->dst should travel over the ONet."""
@@ -96,6 +101,9 @@ class AdaptiveDistanceRouting(RoutingPolicy):
     low zero-load latency.  The controller is deliberately simple --
     it exists to quantify the gap the paper accepts by going oblivious.
     """
+
+    #: rthres moves at runtime, so use_onet answers must not be cached.
+    oblivious = False
 
     rthres_min: int = 5
     rthres_max: int = 25

@@ -21,9 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
-    """Mutable counter bundle; one per network instance."""
+    """Mutable counter bundle; one per network instance.
+
+    ``slots=True``: these counters are read-modify-written on every
+    packet hop, so instance-dict lookups were measurable.
+    """
 
     # -- injection / delivery -----------------------------------------
     packets_sent: int = 0

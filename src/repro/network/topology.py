@@ -5,13 +5,21 @@ clusters of 4x4 cores (Section III-A).  All geometric questions --
 "what is the Manhattan distance between cores 37 and 901?", "which hub
 serves core 512?", "what is the XY route?" -- are answered here, for
 any square mesh whose edge is a multiple of the cluster edge.
+
+Geometry is pure and a :class:`MeshTopology` is immutable, so the
+expensive accessors (``xy_route``, ``broadcast_tree``,
+``cluster_cores``, ``compute_cores``) are memoized per instance: the
+timing engines ask the same geometric questions once per *packet*, and
+rebuilding a 30-node route list or a 1024-node spanning tree each time
+dominated the simulator's profile.  Memoized accessors return
+**tuples** (and tuple-valued tree dicts) so a cache hit can safely
+hand out the same object without aliasing bugs.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from functools import lru_cache
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,21 @@ class MeshTopology:
 
     width: int = 32
     cluster_width: int = 4
+    # Per-instance memo tables.  Excluded from __eq__/__hash__/__repr__
+    # so two topologies with equal dimensions stay equal; ``hash=False``
+    # plus ``compare=False`` keeps the frozen dataclass hashable.
+    _route_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False, hash=False
+    )
+    _tree_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False, hash=False
+    )
+    _cluster_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False, hash=False
+    )
+    _cluster_of_table: tuple = field(
+        default=(), init=False, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -39,6 +62,12 @@ class MeshTopology:
                 f"mesh width {self.width} not a multiple of cluster width "
                 f"{self.cluster_width}"
             )
+        w, cw, cpe = self.width, self.cluster_width, self.clusters_per_edge
+        object.__setattr__(
+            self,
+            "_cluster_of_table",
+            tuple((c // w // cw) * cpe + (c % w) // cw for c in range(w * w)),
+        )
 
     # -- basic counts ---------------------------------------------------
     @property
@@ -78,27 +107,32 @@ class MeshTopology:
         distance between the sender and receiver as measured over an
         electrical mesh network".
         """
-        ax, ay = self.coords(a)
-        bx, by = self.coords(b)
-        return abs(ax - bx) + abs(ay - by)
+        self._check_core(a)
+        self._check_core(b)
+        w = self.width
+        return abs(a % w - b % w) + abs(a // w - b // w)
 
     # -- clusters and hubs ------------------------------------------------
     def cluster_of(self, core: int) -> int:
         """Cluster id containing a core (row-major over the cluster grid)."""
-        x, y = self.coords(core)
-        cx, cy = x // self.cluster_width, y // self.cluster_width
-        return cy * self.clusters_per_edge + cx
+        self._check_core(core)
+        return self._cluster_of_table[core]
 
-    def cluster_cores(self, cluster: int) -> list[int]:
-        """All core ids in a cluster."""
+    def cluster_cores(self, cluster: int) -> tuple[int, ...]:
+        """All core ids in a cluster (memoized; same tuple per cluster)."""
+        cached = self._cluster_cache.get(cluster)
+        if cached is not None:
+            return cached
         self._check_cluster(cluster)
         cx = (cluster % self.clusters_per_edge) * self.cluster_width
         cy = (cluster // self.clusters_per_edge) * self.cluster_width
-        return [
+        cores = tuple(
             self.core_at(cx + dx, cy + dy)
             for dy in range(self.cluster_width)
             for dx in range(self.cluster_width)
-        ]
+        )
+        self._cluster_cache[cluster] = cores
+        return cores
 
     def hub_core(self, cluster: int) -> int:
         """Mesh position (as a core id) of the cluster's ONet hub.
@@ -123,18 +157,37 @@ class MeshTopology:
         cy = (cluster // self.clusters_per_edge) * self.cluster_width
         return self.core_at(cx, cy)
 
-    def memctrl_cores(self) -> list[int]:
-        """All memory-controller positions, one per cluster."""
-        return [self.memctrl_core(c) for c in range(self.n_clusters)]
+    def memctrl_cores(self) -> tuple[int, ...]:
+        """All memory-controller positions, one per cluster (memoized)."""
+        cached = self._cluster_cache.get("memctrl")
+        if cached is None:
+            cached = tuple(
+                self.memctrl_core(c) for c in range(self.n_clusters)
+            )
+            self._cluster_cache["memctrl"] = cached
+        return cached
 
-    def compute_cores(self) -> list[int]:
-        """Core ids that execute application threads (non-memctrl)."""
-        mem = set(self.memctrl_cores())
-        return [c for c in range(self.n_cores) if c not in mem]
+    def compute_cores(self) -> tuple[int, ...]:
+        """Core ids that execute application threads (memoized)."""
+        cached = self._cluster_cache.get("compute")
+        if cached is None:
+            mem = set(self.memctrl_cores())
+            cached = tuple(c for c in range(self.n_cores) if c not in mem)
+            self._cluster_cache["compute"] = cached
+        return cached
 
     # -- routing ----------------------------------------------------------
-    def xy_route(self, src: int, dst: int) -> list[int]:
-        """Dimension-ordered (X then Y) route, inclusive of endpoints."""
+    def xy_route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Dimension-ordered (X then Y) route, inclusive of endpoints.
+
+        Memoized per (src, dst): repeated sends between the same pair --
+        the common case under any locality-bearing workload -- return
+        the identical tuple with no list building.
+        """
+        key = src * self.n_cores + dst
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         path = [src]
@@ -147,16 +200,22 @@ class MeshTopology:
         while y != dy:
             y += step
             path.append(self.core_at(x, y))
-        return path
+        route = tuple(path)
+        self._route_cache[key] = route
+        return route
 
-    def broadcast_tree(self, src: int) -> dict[int, list[int]]:
+    def broadcast_tree(self, src: int) -> dict[int, tuple[int, ...]]:
         """XY-dimension-ordered multicast tree rooted at ``src``.
 
-        Returns ``{node: [children]}``.  The tree first spans the root's
-        row (X dimension), then each row node spans its column (Y
-        dimension) -- the standard mesh multicast used by routers with
-        native broadcast support (EMesh-BCast).
+        Returns ``{node: (children...)}``, memoized per root (the same
+        dict object on every hit -- treat it as read-only).  The tree
+        first spans the root's row (X dimension), then each row node
+        spans its column (Y dimension) -- the standard mesh multicast
+        used by routers with native broadcast support (EMesh-BCast).
         """
+        cached = self._tree_cache.get(src)
+        if cached is not None:
+            return cached
         children: dict[int, list[int]] = {src: []}
         sx, sy = self.coords(src)
         # span the row
@@ -181,7 +240,35 @@ class MeshTopology:
                     children.setdefault(node, [])
                     prev = node
                     y += direction
-        return children
+        tree = {node: tuple(ch) for node, ch in children.items()}
+        self._tree_cache[src] = tree
+        return tree
+
+    def broadcast_order(self, src: int) -> tuple[int, ...]:
+        """Canonical delivery order of a broadcast from ``src`` (memoized).
+
+        Every core except ``src``, in the order the EMesh-BCast engine
+        has always emitted deliveries (the historical stack-order walk
+        of :meth:`broadcast_tree`).  Delivery order is *observable*
+        simulator behaviour -- it decides event-queue tie-breaks among
+        same-cycle arrivals -- so it is pinned here as part of the
+        determinism contract, independent of how the timing engine
+        chooses to traverse the tree.
+        """
+        cached = self._tree_cache.get(("order", src))
+        if cached is not None:
+            return cached
+        tree = self.broadcast_tree(src)
+        order: list[int] = []
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for child in tree[node]:
+                order.append(child)
+                stack.append(child)
+        result = tuple(order)
+        self._tree_cache[("order", src)] = result
+        return result
 
     # -- link geometry ------------------------------------------------------
     def hop_length_mm(self, die_edge_mm: float = 20.0) -> float:

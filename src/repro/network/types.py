@@ -32,7 +32,7 @@ class TrafficClass(Enum):
     BROADCAST = "broadcast"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 

@@ -64,29 +64,46 @@ class CoreModel:
 
     # ------------------------------------------------------------------
     def _run(self, now: int) -> None:
-        """Execute ops until the next blocking point."""
+        """Execute ops until the next blocking point.
+
+        The loop keeps the program counter and instruction count in
+        locals (written back before any call that can block or
+        re-enter) -- this is the single hottest non-network loop in the
+        simulator, retiring every compute op of every trace.
+        """
         ops = self.trace.ops
-        while self._pc < len(ops):
-            op = ops[self._pc]
-            self._pc += 1
-            if isinstance(op, ComputeOp):
-                self.instructions += op.cycles
-                self.cache.fetch_instruction()
+        n_ops = len(ops)
+        pc = self._pc
+        inst = self.instructions
+        cache = self.cache
+        counters = cache.counters
+        while pc < n_ops:
+            op = ops[pc]
+            pc += 1
+            cls = type(op)
+            if cls is ComputeOp:
+                inst += op.cycles
+                counters.l1i_accesses += 1
                 now += op.cycles
                 continue
-            if isinstance(op, MemoryOp):
-                self.instructions += 1
-                self.cache.fetch_instruction()
+            if cls is MemoryOp:
+                inst += 1
+                counters.l1i_accesses += 1
                 self._issue_time = now
-                done = self.cache.access(op.address, op.is_write, now, self._resume)
+                self._pc = pc
+                self.instructions = inst
+                done = cache.access(op.address, op.is_write, now, self._resume)
                 if done is None:
                     return  # blocked on a miss; _resume() continues
                 now = done
                 continue
             # BarrierOp
-            self.instructions += 1
+            self._pc = pc
+            self.instructions = inst + 1
             self.barriers.arrive(op.barrier_id, now, self._run)
             return
+        self._pc = pc
+        self.instructions = inst
         self.done_at = now
 
     def _resume(self, now: int) -> None:

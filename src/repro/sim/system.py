@@ -26,12 +26,30 @@ from repro.sim.eventq import EventQueue
 from repro.sim.results import RunResult
 from repro.workloads.trace import CoreTrace
 
+#: Message-type partitions for handler dispatch (set membership beats a
+#: linear scan of a 9-tuple on every unicast delivery).
+_MEMCTRL_TYPES = frozenset((MsgType.MEM_READ, MsgType.MEM_WRITE))
+_DIRECTORY_TYPES = frozenset((
+    MsgType.SH_REQ, MsgType.EX_REQ, MsgType.EVICT_NOTIFY,
+    MsgType.DIRTY_WB, MsgType.INV_ACK, MsgType.FLUSH_REP,
+    MsgType.WB_REP, MsgType.MEM_DATA, MsgType.MEM_WRITE_ACK,
+))
+
 
 class ManycoreSystem:
-    """One configured chip, ready to run one workload."""
+    """One configured chip, ready to run one workload.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``batch_broadcasts`` selects the broadcast delivery path: batched
+    (default -- one event per distinct arrival time, dispatching to the
+    member caches inline) or the reference one-event-per-core path.
+    Both produce identical simulations (see DESIGN.md section 9 and
+    ``tests/integration/test_fastpath_equivalence.py``); the reference
+    path exists as the oracle the equivalence tests compare against.
+    """
+
+    def __init__(self, config: SystemConfig, batch_broadcasts: bool = True) -> None:
         self.config = config
+        self.batch_broadcasts = batch_broadcasts
         self.topology = config.topology
         self.network = make_network(config)
         self.eventq = EventQueue()
@@ -44,10 +62,20 @@ class ManycoreSystem:
                 "controller (cluster_width=1); use clusters of >= 4 cores"
             )
         self._compute_set = set(self.compute_cores)
+        self._n_compute = len(self.compute_cores)
         self.memctrl_positions = topo.memctrl_cores()
         self._cluster_memctrl = {
             c: topo.memctrl_core(c) for c in range(topo.n_clusters)
         }
+        # Flat per-core tables: home_of / slice_of_home / memctrl_for run
+        # once per coherence message, so they must be plain indexed
+        # lookups rather than repeated topology arithmetic.
+        self._slice_of_core = tuple(
+            topo.cluster_of(c) for c in range(topo.n_cores)
+        )
+        self._memctrl_of_core = tuple(
+            self._cluster_memctrl[s] for s in self._slice_of_core
+        )
 
         mem_timing = MemoryTiming(
             latency_cycles=config.mem_latency,
@@ -88,6 +116,8 @@ class ManycoreSystem:
             )
         self.cores: dict[int, CoreModel] = {}
         self.barriers: BarrierManager | None = None
+        # Reused injection packet (see _inject).
+        self._pkt = Packet(src=0, dst=0, size_bits=1, time=0)
 
     # ------------------------------------------------------------------
     # Fabric interface used by the coherence controllers
@@ -95,15 +125,15 @@ class ManycoreSystem:
     def home_of(self, address: int) -> int:
         """Static home core for a line (directory distributed over all
         compute cores, Section III-B)."""
-        return self.compute_cores[address % len(self.compute_cores)]
+        return self.compute_cores[address % self._n_compute]
 
     def memctrl_for(self, core: int) -> int:
         """The memory controller nearest a home core: its own cluster's."""
-        return self._cluster_memctrl[self.topology.cluster_of(core)]
+        return self._memctrl_of_core[core]
 
     def slice_of_home(self, core: int) -> int:
         """Directory slice (= cluster) of a home core, for seq numbers."""
-        return self.topology.cluster_of(core)
+        return self._slice_of_core[core]
 
     @property
     def all_cores_ack_broadcasts(self) -> bool:
@@ -119,45 +149,78 @@ class ManycoreSystem:
     # ------------------------------------------------------------------
     def send_msg(self, msg: CoherenceMsg, time: int) -> None:
         """Queue a protocol message for network injection at ``time``."""
-        self.eventq.schedule(max(time, self.eventq.now), lambda t: self._inject(msg, t))
+        eventq = self.eventq
+        now = eventq.now
+        eventq.schedule(time if time > now else now, self._inject, msg)
 
     def _inject(self, msg: CoherenceMsg, now: int) -> None:
-        if msg.is_broadcast:
-            pkt = Packet(src=msg.sender, dst=BROADCAST,
-                         size_bits=msg.size_bits, time=now)
+        # One pooled Packet, refilled per injection: Network.send reads
+        # the packet synchronously and never retains it, and _inject
+        # runs once per protocol message, so the per-message dataclass
+        # construction (and its validation) was pure overhead.
+        pkt = self._pkt
+        pkt.src = msg.sender
+        pkt.size_bits = msg.size_bits
+        pkt.time = now
+        if msg.mtype is MsgType.INV_BCAST:
+            pkt.dst = BROADCAST
             deliveries = self.network.send(pkt)
-            for core, arrival in deliveries:
-                if core in self._compute_set:
-                    self.eventq.schedule(
-                        arrival, self._make_handler(self.caches[core], msg)
-                    )
+            if self.batch_broadcasts:
+                # Batched fan-out: one heap event per distinct arrival
+                # time instead of one per core.  Within one arrival the
+                # member caches are dispatched inline in delivery-list
+                # order -- exactly the order the per-core path would
+                # process them, since all per-core events are scheduled
+                # consecutively here (their seqs are contiguous, so no
+                # foreign event can interleave; see DESIGN.md sec. 9).
+                compute = self._compute_set
+                schedule = self.eventq.schedule
+                groups: dict[int, list[int]] = {}
+                for core, arrival in deliveries:
+                    if core in compute:
+                        group = groups.get(arrival)
+                        if group is None:
+                            groups[arrival] = [core]
+                        else:
+                            group.append(core)
+                deliver = self._deliver_broadcast_group
+                for arrival, cores in groups.items():
+                    schedule(arrival, deliver, (msg, cores))
+            else:
+                for core, arrival in deliveries:
+                    if core in self._compute_set:
+                        self.eventq.schedule(
+                            arrival, self.caches[core].handle, msg
+                        )
             # Local loopback: the home's own L2 must also see the
             # invalidation (the network never delivers to the sender).
             if msg.sender in self._compute_set:
                 self.eventq.schedule(
-                    now + 1, self._make_handler(self.caches[msg.sender], msg)
+                    now + 1, self.caches[msg.sender].handle, msg
                 )
             return
-        pkt = Packet(src=msg.sender, dst=msg.dest,
-                     size_bits=msg.size_bits, time=now)
+        pkt.dst = msg.dest
         [(core, arrival)] = self.network.send(pkt)
         handler = self._handler_for(core, msg)
-        self.eventq.schedule(arrival, self._make_handler(handler, msg))
+        self.eventq.schedule(arrival, handler.handle, msg)
+
+    def _deliver_broadcast_group(
+        self, batch: tuple[CoherenceMsg, list[int]], now: int
+    ) -> None:
+        """Dispatch one broadcast to every member cache of one arrival
+        group, inline, in delivery order."""
+        msg, cores = batch
+        caches = self.caches
+        for core in cores:
+            caches[core].handle_broadcast(msg, now)
 
     def _handler_for(self, core: int, msg: CoherenceMsg):
-        if msg.mtype in (MsgType.MEM_READ, MsgType.MEM_WRITE):
+        mt = msg.mtype
+        if mt in _MEMCTRL_TYPES:
             return self.memctrls[core]
-        if msg.mtype in (
-            MsgType.SH_REQ, MsgType.EX_REQ, MsgType.EVICT_NOTIFY,
-            MsgType.DIRTY_WB, MsgType.INV_ACK, MsgType.FLUSH_REP,
-            MsgType.WB_REP, MsgType.MEM_DATA, MsgType.MEM_WRITE_ACK,
-        ):
+        if mt in _DIRECTORY_TYPES:
             return self.directories[core]
         return self.caches[core]
-
-    @staticmethod
-    def _make_handler(target, msg: CoherenceMsg):
-        return lambda t: target.handle(msg, t)
 
     # ------------------------------------------------------------------
     # Running workloads

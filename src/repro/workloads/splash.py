@@ -246,22 +246,44 @@ def generate_traces(
         raise ValueError(f"scale must be positive, got {scale}")
     if l2_lines < 8:
         raise ValueError(f"l2_lines must be >= 8, got {l2_lines}")
+    # Trace generation is pure per-RunSpec setup cost, repeated for
+    # every spec in a sweep, so the per-op loop below is written for
+    # speed: every ``profile.*`` attribute, region base and RNG method
+    # is hoisted out of the loop.  The RNG *call sequence* is part of
+    # the determinism contract (``trace_digest``): one ``random.Random``
+    # stream per core, consumed in exactly the historical order.
     compute_cores = topology.compute_cores()
     n_ops = max(4, int(profile.mem_ops_per_core * scale))
     private_cold_lines = max(8, int(profile.private_ws_frac * l2_lines))
     ops_per_phase = max(1, n_ops // profile.n_phases)
     traces: dict[int, CoreTrace] = {}
     p_priv, p_wide = profile.p_private, profile.p_wide
+    p_priv_or_wide = p_priv + p_wide
     p_cold = profile.private_cold_frac
     wide_hot = min(_WIDE_HOT_LINES, profile.wide_ws_lines)
+    wide_ws_lines = profile.wide_ws_lines
+    group_ws_lines = profile.group_ws_lines
+    group_write_frac = profile.group_write_frac
+    wide_writes_per_phase = profile.wide_writes_per_phase
+    last_barrier = profile.n_phases - 1
+    lam = 1.0 / profile.compute_per_mem
+    seed_prefix = f"{seed}:{profile.name}:"
+    #: BarrierOps are identical across cores; build each once.
+    barrier_ops = [BarrierOp(b) for b in range(profile.n_phases)]
+    rebuild_compute = ComputeOp(2)
     for rank, core in enumerate(compute_cores):
-        rng = random.Random(f"{seed}:{profile.name}:{core}")
+        rng = random.Random(seed_prefix + str(core))
+        rand = rng.random
+        randrange = rng.randrange
+        expovariate = rng.expovariate
         group_id = rank // profile.group_size
-        group_base = _GROUP_BASE + group_id * profile.group_ws_lines
+        group_base = _GROUP_BASE + group_id * group_ws_lines
         wide_group = rank // profile.wide_degree
         wide_base = _WIDE_BASE + wide_group * _WIDE_STRIDE
         private_base = _PRIVATE_BASE + core * _PRIVATE_STRIDE
+        private_cold_base = private_base + _PRIVATE_HOT_LINES
         ops: list = []
+        append = ops.append
         barrier_id = 0
 
         def phase_rebuild() -> None:
@@ -269,43 +291,37 @@ def generate_traces(
             readers accumulated over the previous phase -- each write
             lands on a line with > k sharers and broadcasts its
             invalidation."""
-            expected = profile.wide_writes_per_phase
-            n_writes = int(expected)
-            if rng.random() < expected - n_writes:
+            n_writes = int(wide_writes_per_phase)
+            if rand() < wide_writes_per_phase - n_writes:
                 n_writes += 1
             for _ in range(n_writes):
-                line = wide_base + rng.randrange(wide_hot)
-                ops.append(ComputeOp(2))
-                ops.append(MemoryOp(line, is_write=True))
+                line = wide_base + randrange(wide_hot)
+                append(rebuild_compute)
+                append(MemoryOp(line, is_write=True))
 
         for i in range(n_ops):
-            ops.append(
-                ComputeOp(max(1, int(rng.expovariate(1.0 / profile.compute_per_mem)) + 1))
-            )
-            r = rng.random()
+            append(ComputeOp(max(1, int(expovariate(lam)) + 1)))
+            r = rand()
             if r < p_priv:
-                if rng.random() < p_cold:
-                    addr = (
-                        private_base + _PRIVATE_HOT_LINES
-                        + rng.randrange(private_cold_lines)
-                    )
+                if rand() < p_cold:
+                    addr = private_cold_base + randrange(private_cold_lines)
                 else:
-                    addr = private_base + rng.randrange(_PRIVATE_HOT_LINES)
-                is_write = rng.random() < 0.3  # typical store share
-            elif r < p_priv + p_wide:
-                if rng.random() < 0.85:
-                    addr = wide_base + rng.randrange(wide_hot)
+                    addr = private_base + randrange(_PRIVATE_HOT_LINES)
+                is_write = rand() < 0.3  # typical store share
+            elif r < p_priv_or_wide:
+                if rand() < 0.85:
+                    addr = wide_base + randrange(wide_hot)
                 else:
-                    addr = wide_base + rng.randrange(profile.wide_ws_lines)
+                    addr = wide_base + randrange(wide_ws_lines)
                 is_write = False  # wide data is read-only mid-phase
             else:
-                addr = group_base + rng.randrange(profile.group_ws_lines)
-                is_write = rng.random() < profile.group_write_frac
-            ops.append(MemoryOp(addr, is_write=is_write))
-            if (i + 1) % ops_per_phase == 0 and barrier_id < profile.n_phases - 1:
-                ops.append(BarrierOp(barrier_id))
+                addr = group_base + randrange(group_ws_lines)
+                is_write = rand() < group_write_frac
+            append(MemoryOp(addr, is_write=is_write))
+            if (i + 1) % ops_per_phase == 0 and barrier_id < last_barrier:
+                append(barrier_ops[barrier_id])
                 barrier_id += 1
                 phase_rebuild()
-        ops.append(BarrierOp(profile.n_phases - 1))
+        append(barrier_ops[last_barrier])
         traces[core] = CoreTrace(core, ops)
     return traces

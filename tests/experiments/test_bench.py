@@ -1,0 +1,153 @@
+"""Unit tests for the perf-regression harness (`repro bench`)."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+
+
+class TestSpecs:
+    def test_full_specs(self):
+        specs = bench.bench_specs()
+        assert [(s.app, s.network) for s in specs] == list(bench.BENCH_APPS)
+        assert all(s.mesh_width == 16 and s.scale == 0.6 for s in specs)
+
+    def test_small_specs(self):
+        specs = bench.bench_specs(small=True)
+        assert all(s.mesh_width == 8 and s.scale == 0.2 for s in specs)
+
+
+def _record(rev, created_at, small=False, wall=1.0):
+    return {
+        "rev": rev,
+        "created_at": created_at,
+        "small": small,
+        "results": {"barnes@atac+/w16": {"wall_s": wall}},
+    }
+
+
+class TestRecords:
+    def test_load_sorts_by_created_at(self, tmp_path):
+        (tmp_path / "BENCH_bbb.json").write_text(
+            json.dumps(_record("bbb", "2026-02-01T00:00:00"))
+        )
+        (tmp_path / "BENCH_aaa.json").write_text(
+            json.dumps(_record("aaa", "2026-01-01T00:00:00"))
+        )
+        assert [r["rev"] for r in bench.load_records(tmp_path)] == ["aaa", "bbb"]
+
+    def test_load_skips_malformed_files(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        (tmp_path / "BENCH_ok.json").write_text(
+            json.dumps(_record("ok", "2026-01-01T00:00:00"))
+        )
+        assert [r["rev"] for r in bench.load_records(tmp_path)] == ["ok"]
+
+    def test_load_empty_dir(self, tmp_path):
+        assert bench.load_records(tmp_path) == []
+        assert bench.load_records(tmp_path / "missing") == []
+
+    def test_previous_record_skips_own_rev_and_other_size(self):
+        records = [
+            _record("old", "2026-01-01T00:00:00"),
+            _record("small", "2026-01-02T00:00:00", small=True),
+            _record("cur", "2026-01-03T00:00:00"),
+        ]
+        prev = bench.previous_record(records, rev="cur", small=False)
+        assert prev["rev"] == "old"
+        assert bench.previous_record(records, rev="old", small=True)["rev"] == "small"
+        assert bench.previous_record([], rev="cur", small=False) is None
+
+
+class TestCompare:
+    def test_flags_regression_past_threshold(self):
+        cur = _record("cur", "2026-01-02T00:00:00", wall=2.0)
+        base = _record("base", "2026-01-01T00:00:00", wall=1.0)
+        lines, regressions = bench.compare(cur, base, max_regression=1.5)
+        assert regressions == ["barnes@atac+/w16"]
+        assert "REGRESSION" in lines[0]
+
+    def test_within_threshold_is_ok(self):
+        cur = _record("cur", "2026-01-02T00:00:00", wall=1.4)
+        base = _record("base", "2026-01-01T00:00:00", wall=1.0)
+        lines, regressions = bench.compare(cur, base, max_regression=1.5)
+        assert regressions == []
+        assert "ok" in lines[0]
+
+    def test_speedup_reported_as_improved(self):
+        cur = _record("cur", "2026-01-02T00:00:00", wall=0.4)
+        base = _record("base", "2026-01-01T00:00:00", wall=1.0)
+        lines, _ = bench.compare(cur, base, max_regression=1.5)
+        assert "improved" in lines[0]
+
+    def test_missing_baseline_entry_is_not_a_regression(self):
+        cur = _record("cur", "2026-01-02T00:00:00")
+        base = _record("base", "2026-01-01T00:00:00")
+        base["results"] = {}
+        lines, regressions = bench.compare(cur, base, max_regression=1.5)
+        assert regressions == []
+        assert "no baseline" in lines[0]
+
+
+class TestMeasure:
+    def test_measure_spec_rejects_bad_reps(self):
+        spec = bench.bench_specs(small=True)[0]
+        with pytest.raises(ValueError):
+            bench.measure_spec(spec, reps=0)
+
+    def test_peak_rss_positive(self):
+        assert bench.peak_rss_kb() > 0
+
+
+class TestMainFlow:
+    """End-to-end at smoke scale: record, then check against it."""
+
+    def test_record_then_regression_check(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert bench.main(
+            ["--small", "--reps", "1", "--rev", "base", "--out-dir", out]
+        ) == 0
+        record_path = tmp_path / "BENCH_base.json"
+        assert record_path.exists()
+        record = json.loads(record_path.read_text())
+        assert record["rev"] == "base"
+        assert record["small"] is True
+        assert record["peak_rss_kb"] > 0
+        for label, res in record["results"].items():
+            assert res["events"] > 0
+            assert res["events_per_sec"] > 0
+            assert res["wall_s"] >= res["sim_s"]
+
+        # A second rev on the same machine at the same scale is nowhere
+        # near 1000x slower, so --check passes and compares vs "base".
+        assert bench.main(
+            ["--small", "--reps", "1", "--rev", "next", "--out-dir", out,
+             "--check", "--max-regression", "1000"]
+        ) == 0
+        assert "vs rev base" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        out = str(tmp_path)
+        # Plant a baseline claiming the benchmarks once took ~0 seconds:
+        # any real run then exceeds the regression threshold.
+        fake = {
+            label: {"wall_s": 1e-9}
+            for label in (s.label() for s in bench.bench_specs(small=True))
+        }
+        (tmp_path / "BENCH_fast.json").write_text(json.dumps({
+            "rev": "fast",
+            "created_at": "2026-01-01T00:00:00",
+            "small": True,
+            "results": fake,
+        }))
+        assert bench.main(
+            ["--small", "--reps", "1", "--rev", "cur", "--out-dir", out,
+             "--check", "--no-write"]
+        ) == 1
+        assert not (tmp_path / "BENCH_cur.json").exists()
+
+    def test_bad_flags(self):
+        assert bench.main(["--reps", "0", "--no-write"]) == 2
+        assert bench.main(["--max-regression", "1.0", "--no-write"]) == 2

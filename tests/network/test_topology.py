@@ -100,7 +100,7 @@ class TestRouting:
         assert all(y == 0 for y in ys[:8])
 
     def test_route_to_self(self, topo64):
-        assert topo64.xy_route(5, 5) == [5]
+        assert topo64.xy_route(5, 5) == (5,)
 
     @given(st.integers(0, 63), st.integers(0, 63))
     def test_route_steps_are_neighbors(self, a, b):

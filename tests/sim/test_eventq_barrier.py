@@ -59,6 +59,52 @@ class TestEventQueue:
         with pytest.raises(RuntimeError):
             q.run(max_events=100)
 
+
+class TestEventQueueArgDispatch:
+    """The allocation-free ``(callback, arg)`` scheduling form."""
+
+    def test_arg_form_calls_callback_with_payload_and_time(self):
+        q = EventQueue()
+        log = []
+        q.schedule(7, lambda msg, t: log.append((msg, t)), "payload")
+        q.run()
+        assert log == [("payload", 7)]
+
+    def test_none_is_a_valid_payload(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3, lambda msg, t: log.append((msg, t)), None)
+        q.run()
+        assert log == [(None, 3)]
+
+    def test_mixed_forms_share_the_tie_break(self):
+        """arg and no-arg events at the same time keep insertion order."""
+        q = EventQueue()
+        log = []
+        q.schedule(5, lambda t: log.append("plain-1"))
+        q.schedule(5, lambda msg, t: log.append(msg), "arg-2")
+        q.schedule(5, lambda t: log.append("plain-3"))
+        q.schedule(5, lambda msg, t: log.append(msg), "arg-4")
+        q.run()
+        assert log == ["plain-1", "arg-2", "plain-3", "arg-4"]
+
+    def test_events_processed_counts_both_forms(self):
+        q = EventQueue()
+        q.schedule(1, lambda t: None)
+        q.schedule(2, lambda msg, t: None, object())
+        q.run()
+        assert q.events_processed == 2
+
+    def test_arg_form_respects_max_events(self):
+        q = EventQueue()
+
+        def forever(msg, t):
+            q.schedule(t + 1, forever, msg)
+
+        q.schedule(0, forever, "m")
+        with pytest.raises(RuntimeError):
+            q.run(max_events=50)
+
     def test_len(self):
         q = EventQueue()
         assert len(q) == 0
