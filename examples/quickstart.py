@@ -20,7 +20,10 @@ def simulate(network: str):
     # A 16x16 mesh with the paper's 4x4-core clusters; caches scale down
     # with the chip so the workload's miss behaviour stays representative.
     config = SystemConfig(network=network).scaled(mesh_width=16)
-    system = ManycoreSystem(config)
+    # sanitize=False (the default) skips the runtime invariant checker;
+    # pass sanitize=True -- or run with REPRO_SANITIZE=1 -- to assert
+    # cross-layer coherence/network/energy invariants at ~2x cost.
+    system = ManycoreSystem(config, sanitize=False)
     traces = generate_traces(
         APP_PROFILES["barnes"],
         system.topology,

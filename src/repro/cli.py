@@ -10,13 +10,18 @@ Usage::
     python -m repro ablations
     python -m repro run --apps barnes,radix --networks atac+ --jobs 4
     python -m repro run --apps barnes --profile   # cProfile the simulator
+    python -m repro run --apps barnes --sanitize  # runtime invariant checking
     python -m repro sweep --jobs 4       # (apps x networks) design sweep
     python -m repro bench --check        # perf-regression harness
+    python -m repro fuzz --budget 120s   # differential invariant fuzzer
 
 ``--jobs`` bounds the runner's worker processes for every experiment
 (it exports ``REPRO_JOBS``, which the figure drivers honour); scale
 flags map onto the same knobs as the benchmark suite's environment
-variables.
+variables.  ``--sanitize`` (or ``REPRO_SANITIZE=1``) runs every
+simulation under :mod:`repro.sanitizer`, which raises a structured
+``InvariantViolation`` on any cross-layer inconsistency (~2x cost;
+see DESIGN.md section 10).
 """
 
 from __future__ import annotations
@@ -118,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
              "disables the run cache) and print the top 25 functions by "
              "cumulative time to stderr",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the runtime invariant checker (repro.sanitizer): "
+             "~2-3x slower, raises InvariantViolation on any cross-layer "
+             "inconsistency; equivalent to REPRO_SANITIZE=1",
+    )
     return parser
 
 
@@ -136,7 +147,7 @@ def _sweep(args, networks_default: tuple[str, ...]) -> int:
         specs = [
             spec_for(
                 app, network=net, mesh_width=args.mesh_width,
-                scale=args.scale, seed=args.seed,
+                scale=args.scale, seed=args.seed, sanitize=args.sanitize,
             )
             for app in apps for net in networks
         ]
@@ -190,6 +201,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # fuzz likewise owns its flags (budget/seed/fault injection).
+        from repro.sanitizer.fuzz import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.mesh_width is not None:
         os.environ["REPRO_MESH_WIDTH"] = str(args.mesh_width)
@@ -202,6 +218,10 @@ def main(argv: list[str] | None = None) -> int:
             print("--jobs must be >= 1", file=sys.stderr)
             return 2
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.sanitize:
+        # Exported so figure drivers (which build their own specs) and
+        # pool workers inherit the setting, not just 'run'/'sweep'.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     if args.experiment == "run":
         if args.profile:
@@ -218,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  run    (explicit app/network batch through the runner)")
         print("  sweep  (apps x networks design sweep through the runner)")
         print("  bench  (perf-regression harness; see 'bench --help')")
+        print("  fuzz   (differential invariant fuzzer; see 'fuzz --help')")
         print("  all")
         return 0
     if args.experiment == "all":

@@ -81,7 +81,9 @@ def measure_spec(spec, reps: int = 3) -> dict:
     events = 0
     cycles = 0
     for _ in range(reps):
-        system = ManycoreSystem(config)
+        # sanitize=False explicitly: a stray REPRO_SANITIZE=1 in the
+        # environment must not skew the perf baseline it checks against.
+        system = ManycoreSystem(config, sanitize=False)
         t0 = time.perf_counter()
         traces = generate_traces(
             APP_PROFILES[spec.app],

@@ -86,6 +86,7 @@ def spec_for(
     flit_bits: int = 64,
     receive_net: str = "starnet",
     seed: int = 42,
+    sanitize: bool = False,
 ) -> RunSpec:
     """Build a :class:`RunSpec`, resolving ``None`` size knobs from the
     environment at call time."""
@@ -100,6 +101,7 @@ def spec_for(
         flit_bits=flit_bits,
         receive_net=receive_net,
         seed=seed,
+        sanitize=sanitize,
     )
 
 

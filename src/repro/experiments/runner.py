@@ -51,6 +51,22 @@ def _timed_execute(spec):
     return result, time.perf_counter() - t0
 
 
+def _sanitize_requested(spec) -> bool:
+    """Whether executing ``spec`` would attach the runtime sanitizer.
+
+    Sanitized specs share the unsanitized content hash (results are
+    byte-identical), so the cache must be *bypassed on load* for them:
+    a hit would silently skip the invariant checking the caller asked
+    for.  Saving the result afterwards is still fine.
+    """
+    sanitize = getattr(spec, "sanitize", None)
+    if sanitize is None:
+        return False  # spec kind without a sanitizer (e.g. LoadPointSpec)
+    return bool(sanitize) or (
+        os.environ.get("REPRO_SANITIZE", "0").lower() in ("1", "true", "on")
+    )
+
+
 @dataclass
 class RunnerReport:
     """Accounting for one :meth:`Runner.run` call."""
@@ -124,7 +140,11 @@ class Runner:
         use_cache = cache_enabled()
         misses: list[str] = []
         for h in order:
-            cached = self.store.load(unique[h]) if use_cache else None
+            cached = (
+                self.store.load(unique[h])
+                if use_cache and not _sanitize_requested(unique[h])
+                else None
+            )
             if cached is not None:
                 results[h] = cached
                 report.hits += 1

@@ -67,6 +67,12 @@ class RunSpec:
     flit_bits: int = 64
     receive_net: str = "starnet"
     seed: int = 42
+    #: Run under the runtime invariant checker (repro.sanitizer).
+    #: Deliberately *excluded* from the spec's identity: a sanitized run
+    #: produces byte-identical results, so it shares the unsanitized
+    #: content hash (the runner still bypasses the cache for it -- a
+    #: cache hit would skip the checking the caller asked for).
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         # import here: workloads.splash imports nothing from experiments,
@@ -95,6 +101,7 @@ class RunSpec:
     def to_dict(self) -> dict:
         d = asdict(self)
         d["protocol"] = self.protocol.value
+        del d["sanitize"]  # not part of the run's identity (see field doc)
         return d
 
     @classmethod
@@ -135,7 +142,7 @@ class RunSpec:
         from repro.workloads.splash import APP_PROFILES, generate_traces
 
         config = self.config()
-        system = ManycoreSystem(config)
+        system = ManycoreSystem(config, sanitize=self.sanitize or None)
         traces = generate_traces(
             APP_PROFILES[self.app],
             system.topology,

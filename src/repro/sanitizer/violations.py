@@ -1,0 +1,81 @@
+"""Structured invariant-violation reporting.
+
+A sanitized run that trips an invariant raises
+:class:`InvariantViolation` carrying everything needed to triage the
+failure without re-running under a debugger: the invariant's name, the
+simulation time, a small key/value detail map (addresses, cores,
+expected-vs-actual counts), and the tail of the event log -- the last
+few dispatched events, formatted lazily so the hot path only ever
+stores raw references.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def describe_event(time: int, callback: Any, arg: Any) -> str:
+    """One human-readable line for a dispatched event."""
+    name = getattr(callback, "__qualname__", repr(callback))
+    if arg is None or arg.__class__ is not tuple and not hasattr(arg, "mtype"):
+        detail = "" if arg is None else f" arg={arg!r:.60}"
+    elif hasattr(arg, "mtype"):
+        detail = (
+            f" {arg.mtype.name} addr={arg.address}"
+            f" {arg.sender}->{arg.dest} seq={arg.seq}"
+        )
+    else:  # (msg, cores) broadcast batch
+        msg, cores = arg
+        detail = (
+            f" {msg.mtype.name} addr={msg.address} from={msg.sender}"
+            f" batch={list(cores)[:8]}{'...' if len(cores) > 8 else ''}"
+        )
+    return f"t={time} {name}{detail}"
+
+
+class InvariantViolation(Exception):
+    """A cross-layer simulation invariant failed.
+
+    Attributes
+    ----------
+    invariant:
+        Stable machine-readable name (e.g. ``"swmr"``, ``"flit-conservation"``).
+    time:
+        Simulation time at which the violation was detected.
+    details:
+        Minimal structured context: addresses, cores, expected/actual
+        values.  JSON-serializable by construction (plain scalars,
+        lists, dicts).
+    events:
+        The most recent dispatched events, oldest first, already
+        formatted as strings.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        time: int = 0,
+        details: dict | None = None,
+        events: tuple[str, ...] = (),
+    ) -> None:
+        self.invariant = invariant
+        self.time = time
+        self.details = details or {}
+        self.events = events
+        lines = [f"[{invariant}] {message} (t={time})"]
+        for key, value in self.details.items():
+            lines.append(f"  {key}: {value}")
+        if events:
+            lines.append("  recent events:")
+            lines.extend(f"    {e}" for e in events)
+        super().__init__("\n".join(lines))
+
+    def to_dict(self) -> dict:
+        """JSON payload for fuzz reproducers and CI artifacts."""
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "details": self.details,
+            "events": list(self.events),
+        }

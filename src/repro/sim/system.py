@@ -10,6 +10,7 @@ uses, with the network as the serialization point.
 
 from __future__ import annotations
 
+import os
 from dataclasses import fields
 
 from repro.coherence.directory import DirectoryController, Protocol
@@ -45,9 +46,19 @@ class ManycoreSystem:
     Both produce identical simulations (see DESIGN.md section 9 and
     ``tests/integration/test_fastpath_equivalence.py``); the reference
     path exists as the oracle the equivalence tests compare against.
+
+    ``sanitize`` attaches the runtime invariant checker
+    (:mod:`repro.sanitizer`, DESIGN.md section 10): every event is then
+    audited for cross-layer consistency -- SWMR, directory/cache
+    agreement, sequencing order, flit conservation -- at roughly 2-3x
+    simulation cost, raising :class:`InvariantViolation` on failure.
+    ``None`` (the default) defers to the ``REPRO_SANITIZE`` environment
+    variable; ``False`` is a hard off that perf-sensitive callers
+    should pass explicitly.
     """
 
-    def __init__(self, config: SystemConfig, batch_broadcasts: bool = True) -> None:
+    def __init__(self, config: SystemConfig, batch_broadcasts: bool = True,
+                 sanitize: bool | None = None) -> None:
         self.config = config
         self.batch_broadcasts = batch_broadcasts
         self.topology = config.topology
@@ -118,6 +129,20 @@ class ManycoreSystem:
         self.barriers: BarrierManager | None = None
         # Reused injection packet (see _inject).
         self._pkt = Packet(src=0, dst=0, size_bits=1, time=0)
+
+        if sanitize is None:
+            sanitize = os.environ.get(
+                "REPRO_SANITIZE", "0"
+            ).lower() in ("1", "true", "on")
+        self.sanitize = sanitize
+        self.sanitizer = None
+        if sanitize:
+            # Imported only when enabled: the sanitizer costs nothing --
+            # not even an import -- on unsanitized runs.
+            from repro.sanitizer.core import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+            self.sanitizer.attach()
 
     # ------------------------------------------------------------------
     # Fabric interface used by the coherence controllers

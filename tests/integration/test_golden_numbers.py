@@ -1,0 +1,136 @@
+"""Pin exact driver outputs at a reduced, fast scale.
+
+The shape tests in ``test_paper_claims.py`` tolerate drift; this module
+does not.  It regenerates three paper figures' driver outputs at
+mesh width 8 / scale 0.3 (seconds, not minutes) and compares them
+field-by-field against a checked-in golden file:
+
+* integers (completion cycles) must match **exactly** -- the simulator
+  is deterministic, so any difference is a behaviour change;
+* floats must match to ``REL_TOL`` -- they are deterministic too, but
+  a loose knot of tolerance keeps the pin robust to harmless
+  float-summation reassociation (e.g. dict ordering in energy sums).
+
+When a behaviour change is *intended*, regenerate the golden file and
+review the diff like any other code change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_numbers.py
+
+The runs bypass the on-disk result store (``REPRO_CACHE=0``): a stale
+cache entry would make this test vacuously green exactly when the
+simulator's behaviour changed without a schema bump.
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "w8_scale03.json"
+
+MESH_WIDTH = 8
+SCALE = 0.3
+
+#: Exact-match tolerance for floats (see module docstring).
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+FIG4_APPS = ("dynamic_graph", "radix", "barnes", "lu_contig")
+FIG7_APPS = ("radix", "barnes")
+FIG14_APPS = ("radix", "barnes", "fmm")
+
+
+@pytest.fixture(scope="module")
+def computed():
+    from repro.experiments.fig04_05_06 import run_fig4
+    from repro.experiments.fig07_08_09 import run_fig7
+    from repro.experiments.fig14_15_16 import run_fig14
+
+    saved = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "0"
+    try:
+        doc = {
+            "fig04_runtime": run_fig4(
+                FIG4_APPS, mesh_width=MESH_WIDTH, scale=SCALE, jobs=1
+            ),
+            "fig07_energy": run_fig7(
+                FIG7_APPS, mesh_width=MESH_WIDTH, scale=SCALE, jobs=1
+            ),
+            "fig14_edp": run_fig14(
+                FIG14_APPS, mesh_width=MESH_WIDTH, scale=SCALE, jobs=1
+            ),
+        }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = saved
+    # JSON round-trip so computed and golden compare like-for-like
+    # (tuples become lists, dict keys become strings)
+    doc = json.loads(json.dumps(doc))
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} is missing; generate it with "
+            "REPRO_REGEN_GOLDEN=1 and commit it"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _diffs(got, want, path=""):
+    """Recursive comparison; returns human-readable mismatch strings."""
+    if isinstance(want, dict):
+        if not isinstance(got, dict):
+            return [f"{path}: expected object, got {type(got).__name__}"]
+        out = []
+        for key in sorted(set(got) | set(want)):
+            if key not in want:
+                out.append(f"{path}.{key}: unexpected key")
+            elif key not in got:
+                out.append(f"{path}.{key}: missing key")
+            else:
+                out.extend(_diffs(got[key], want[key], f"{path}.{key}"))
+        return out
+    if isinstance(want, list):
+        if not isinstance(got, list) or len(got) != len(want):
+            return [f"{path}: length/type mismatch"]
+        out = []
+        for i, (g, w) in enumerate(zip(got, want)):
+            out.extend(_diffs(g, w, f"{path}[{i}]"))
+        return out
+    if isinstance(want, bool) or isinstance(got, bool):
+        return [] if got == want else [f"{path}: {got!r} != {want!r}"]
+    if isinstance(want, int) and isinstance(got, int):
+        return [] if got == want else [f"{path}: {got} != {want} (exact)"]
+    if isinstance(want, (int, float)) and isinstance(got, (int, float)):
+        if math.isclose(got, want, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            return []
+        return [f"{path}: {got} != {want} (rel_tol={REL_TOL})"]
+    return [] if got == want else [f"{path}: {got!r} != {want!r}"]
+
+
+@pytest.mark.parametrize("figure", ["fig04_runtime", "fig07_energy", "fig14_edp"])
+def test_driver_output_matches_golden(computed, golden, figure):
+    assert figure in golden, f"golden file lacks {figure}; regenerate it"
+    mismatches = _diffs(computed[figure], golden[figure], figure)
+    assert not mismatches, (
+        "golden mismatch (intended? regenerate with REPRO_REGEN_GOLDEN=1 "
+        "and commit):\n  " + "\n  ".join(mismatches[:20])
+    )
+
+
+def test_golden_file_inventory(golden):
+    """The golden file covers exactly the pinned figures and scales."""
+    assert sorted(golden) == ["fig04_runtime", "fig07_energy", "fig14_edp"]
+    assert [row["app"] for row in golden["fig04_runtime"]] == list(FIG4_APPS)
+    assert [row["app"] for row in golden["fig14_edp"]] == list(FIG14_APPS)

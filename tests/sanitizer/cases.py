@@ -1,0 +1,39 @@
+"""Shared helpers for sanitizer tests: handcrafted fuzz-format cases."""
+
+from repro.sanitizer.fuzz import case_config
+
+
+def handcrafted(
+    ops_by_index: dict[int, list],
+    network: str = "emesh-bcast",
+    protocol: str = "ackwise",
+    mesh_width: int = 4,
+    hardware_sharers: int = 2,
+) -> dict:
+    """A fuzz-format case with explicit per-core ops.
+
+    ``ops_by_index`` is keyed by index into the config's compute-core
+    list (so tests do not hardcode core ids that depend on topology).
+    Cores without explicit ops get exactly the barrier ops appearing
+    anywhere else, keeping the barrier protocol deadlock-free; cores
+    *with* explicit ops must include every barrier id themselves.
+    """
+    case = {
+        "seed": 0,
+        "mesh_width": mesh_width,
+        "network": network,
+        "protocol": protocol,
+        "hardware_sharers": hardware_sharers,
+    }
+    compute = case_config(case).topology.compute_cores()
+    barrier_ids = sorted({
+        op[1] for ops in ops_by_index.values() for op in ops if op[0] == "b"
+    })
+    case["traces"] = {
+        str(core): (
+            ops_by_index[i] if i in ops_by_index
+            else [["b", b] for b in barrier_ids]
+        )
+        for i, core in enumerate(compute)
+    }
+    return case

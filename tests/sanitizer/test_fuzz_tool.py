@@ -1,0 +1,83 @@
+"""The fuzzer's own machinery: shrinking, reproducers, replay.
+
+Uses the deterministic fault injectors so a failure is guaranteed on a
+known case, then exercises the full find -> shrink -> write -> replay
+loop the nightly CI job relies on.
+"""
+
+import json
+
+from repro.sanitizer.fuzz import (
+    _normalize,
+    check_case,
+    generate_case,
+    replay,
+    shrink_case,
+    total_ops,
+    write_reproducer,
+)
+
+from .cases import handcrafted
+
+#: The drop-ack scenario (reader holds the line, remote write must
+#: invalidate it) buried in unrelated traffic for the shrinker to strip.
+_NOISY_OPS = {
+    0: [["m", 64, 0], ["c", 4], ["m", 320, 0], ["b", 0], ["m", 320, 1]],
+    1: [["m", 192, 1], ["b", 0], ["c", 2], ["m", 64, 1]],
+    2: [["m", 320, 0], ["m", 192, 0], ["c", 7], ["b", 0]],
+    3: [["m", 448, 1], ["b", 0], ["m", 448, 0]],
+}
+
+
+def test_shrink_produces_minimal_deterministic_reproducer(tmp_path):
+    case = handcrafted(_NOISY_OPS)
+    failure = check_case(case, "drop-ack")
+    assert failure is not None and failure["kind"] == "invariant"
+    assert failure["violation"]["invariant"] == "deadlock"
+
+    shrunk = shrink_case(case, failure, "drop-ack")
+    assert total_ops(shrunk) <= 25  # the PR's acceptance bound, with margin
+    assert total_ops(shrunk) < total_ops(case)
+
+    # deterministic: the shrunk case re-triggers the same invariant twice
+    for _ in range(2):
+        again = check_case(shrunk, "drop-ack")
+        assert again is not None
+        assert again["violation"]["invariant"] == "deadlock"
+
+    # round-trip through the reproducer file and the replay entry point
+    out = tmp_path / "repro_0.json"
+    write_reproducer(out, shrunk, check_case(shrunk, "drop-ack"),
+                     total_ops(case), "drop-ack")
+    doc = json.loads(out.read_text())
+    assert doc["fault"] == "drop-ack"
+    assert doc["shrunk_ops"] == total_ops(shrunk)
+    assert replay(out) == 0
+
+
+def test_replay_reports_non_reproduction(tmp_path):
+    """A reproducer whose case now passes must exit non-zero."""
+    case = handcrafted({0: [["c", 1]]})
+    out = tmp_path / "repro_1.json"
+    write_reproducer(
+        out, case,
+        {"kind": "invariant",
+         "violation": {"invariant": "deadlock", "time": 0,
+                       "details": {}, "events": []}},
+        1, "drop-ack",
+    )
+    assert replay(out) == 1
+
+
+def test_normalize_strips_partial_barriers():
+    case = handcrafted({0: [["m", 64, 0]]})
+    case["traces"][next(iter(case["traces"]))].append(["b", 3])  # one core only
+    normalized = _normalize(case)
+    assert all(
+        op[0] != "b" for ops in normalized["traces"].values() for op in ops
+    )
+
+
+def test_generation_is_seed_deterministic():
+    assert generate_case(777) == generate_case(777)
+    assert generate_case(777) != generate_case(778)
