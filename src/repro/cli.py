@@ -111,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--networks", default=None, metavar="N,M,...",
         help="comma-separated networks for 'run'/'sweep' "
-             "(default: atac+ for 'run'; atac+,emesh-bcast for 'sweep')",
+             "(default: atac+ for 'run', the registry's sweep axis for "
+             "'sweep'; 'repro list' shows every registered network)",
     )
     parser.add_argument(
         "--seed", type=int, default=42,
@@ -134,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _sweep(args, networks_default: tuple[str, ...]) -> int:
     """Shared implementation of the `run` and `sweep` experiments."""
+    from repro.energy.accounting import EnergyModel
     from repro.experiments.common import (
         Runner, format_table, spec_for,
     )
@@ -158,7 +160,15 @@ def _sweep(args, networks_default: tuple[str, ...]) -> int:
     runner = Runner(jobs=args.jobs)
     results = runner.run(specs)
     report = runner.last_report
-    rows = [r.summary() for r in results]
+    # one energy model per network: the registry's descriptor supplies
+    # the architecture-specific wedges, so this works for any network
+    models = {spec.network: EnergyModel(spec.config()) for spec in specs}
+    rows = []
+    for spec, result in zip(specs, results):
+        row = result.summary()
+        breakdown = models[spec.network].evaluate(result)
+        row["chip_energy_j"] = f"{breakdown.chip_energy_j:.3e}"
+        rows.append(row)
     print(format_table(rows, list(rows[0].keys())))
     print(
         f"\n{report.total} run(s): {report.hits} cached, {report.misses} "
@@ -223,15 +233,23 @@ def main(argv: list[str] | None = None) -> int:
         # pool workers inherit the setting, not just 'run'/'sweep'.
         os.environ["REPRO_SANITIZE"] = "1"
 
-    if args.experiment == "run":
-        if args.profile:
-            return _profiled_sweep(args, networks_default=("atac+",))
-        return _sweep(args, networks_default=("atac+",))
-    if args.experiment == "sweep":
-        return _sweep(args, networks_default=("atac+", "emesh-bcast"))
+    if args.experiment in ("run", "sweep"):
+        # imported lazily so `--help` stays fast
+        from repro.network.registry import DEFAULT_NETWORK, experiment_axis
+
+        defaults = (
+            (DEFAULT_NETWORK,)
+            if args.experiment == "run"
+            else experiment_axis("sweep")
+        )
+        if args.experiment == "run" and args.profile:
+            return _profiled_sweep(args, networks_default=defaults)
+        return _sweep(args, networks_default=defaults)
 
     mains = _experiment_mains()
     if args.experiment == "list":
+        from repro.network.registry import REGISTRY
+
         print("available experiments:")
         for name in sorted(mains, key=lambda n: (len(n), n)):
             print(f"  {name}")
@@ -240,6 +258,9 @@ def main(argv: list[str] | None = None) -> int:
         print("  bench  (perf-regression harness; see 'bench --help')")
         print("  fuzz   (differential invariant fuzzer; see 'fuzz --help')")
         print("  all")
+        print("\nregistered networks (--networks):")
+        for descriptor in REGISTRY.values():
+            print(f"  {descriptor.name:12s} {descriptor.summary}")
         return 0
     if args.experiment == "all":
         for name in _DRIVER_ORDER:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.network.registry import for_display_name, receive_net_kind
 from repro.sim.config import SystemConfig
 from repro.sim.results import RunResult
 from repro.tech.caches import CacheModel, directory_cache, l1d_cache, l1i_cache, l2_cache
@@ -129,7 +130,7 @@ class EnergyModel:
         self.n_links = 4 * topo.width * (topo.width - 1)
         self.hub = HubModel(width_bits=config.flit_bits)
         self.receive_net = ReceiveNetModel(
-            kind="bnet" if config.network == "atac" else config.receive_net,
+            kind=receive_net_kind(config.network, config.receive_net),
             width_bits=config.flit_bits,
             cluster_size=topo.cluster_size,
         )
@@ -146,9 +147,6 @@ class EnergyModel:
         self.n_compute = len(topo.compute_cores())
 
     # ------------------------------------------------------------------
-    def _is_hybrid(self, result: RunResult) -> bool:
-        return result.network in ("ATAC", "ATAC+")
-
     def onet_geometry(self, photonics: PhotonicParams) -> OnetGeometry:
         """The ONet photonic inventory for this chip configuration."""
         return OnetGeometry(
@@ -181,56 +179,12 @@ class EnergyModel:
             + self.n_links * self.link.leakage_power_w()
         )
 
-        # -- optical path ------------------------------------------------
-        if self._is_hybrid(result):
-            photonics = scenario.photonic_params(self.base_photonics)
-            geometry = self.onet_geometry(photonics)
-            channel = geometry.data_link(on_chip_laser=scenario.laser_power_gated)
-            # one hub "link" = flit_bits wavelength-channels in lockstep
-            uni_w = channel.unicast_power_w() * self.config.flit_bits
-            bcast_w = channel.broadcast_power_w() * self.config.flit_bits
-            active = (
-                ns.onet_unicast_cycles * uni_w
-                + ns.onet_broadcast_cycles * bcast_w
-            ) * cycle_s
-            # laser settle/re-bias energy per mode transition (the 1 ns
-            # power-up window of the on-chip Ge laser, Section II-A)
-            active += (
-                ns.onet_mode_transitions
-                * channel.transition_energy_j()
-                * self.config.flit_bits
-            )
-            if scenario.laser_power_gated:
-                comp["laser"] = active
-            else:
-                # Laser stuck at worst-case broadcast power on every
-                # hub link for the whole run (ATAC+(Cons)).
-                comp["laser"] = (
-                    bcast_w * self.n_hubs * result.completion_cycles * cycle_s
-                )
-            comp["ring_tuning"] = (
-                geometry.ring_tuning_power_w(athermal=scenario.athermal_rings)
-                * runtime
-            )
-            bits = self.config.flit_bits
-            mod_j = photonics.modulator_energy_fj_per_bit * 1e-15 * bits
-            rx_j = photonics.receiver_energy_fj_per_bit * 1e-15 * bits
-            comp["modulator_receiver"] = (
-                (ns.onet_unicast_flits + ns.onet_broadcast_flits) * mod_j
-                + ns.onet_receiver_flits * rx_j
-                + ns.onet_select_notifications * mod_j * 0.1  # select link
-            )
-            comp["hub"] = (
-                ns.hub_flit_traversals * self.hub.flit_energy_j()
-                + runtime
-                * self.n_hubs
-                * (self.hub.clock_power_w(result.freq_hz) + self.hub.leakage_power_w())
-            )
-            comp["receive_net"] = (
-                ns.receive_net_unicast_flits * self.receive_net.unicast_energy_j()
-                + ns.receive_net_broadcast_flits * self.receive_net.broadcast_energy_j()
-                + runtime * self.n_hubs * 2 * self.receive_net.leakage_power_w()
-            )
+        # -- architecture-specific wedges (optical path, hubs, ...) ------
+        # The descriptor owns the architecture's extra component math;
+        # electrical meshes register none and contribute nothing here.
+        descriptor = for_display_name(result.network)
+        if descriptor.energy_components is not None:
+            comp.update(descriptor.energy_components(self, result, scenario))
 
         # -- caches --------------------------------------------------------
         cc = result.cache_counters

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.network.registry import get_network
 from repro.sim.config import SystemConfig
 from repro.tech.caches import directory_cache, l1d_cache, l1i_cache, l2_cache
-from repro.tech.dsent import HubModel, LinkModel, ReceiveNetModel, RouterModel
-from repro.tech.photonics import OnetGeometry, PhotonicParams
+from repro.tech.dsent import LinkModel, RouterModel
+from repro.tech.photonics import PhotonicParams
 
 
 @dataclass
@@ -83,20 +84,9 @@ class AreaModel:
         )
         n_links = 4 * topo.width * (topo.width - 1)
         comp["enet"] = n * router.area_mm2() + n_links * link.area_mm2()
-        if cfg.network in ("atac", "atac+"):
-            kind = "bnet" if cfg.network == "atac" else cfg.receive_net
-            comp["hubs"] = topo.n_clusters * HubModel(cfg.flit_bits).area_mm2()
-            comp["receive_net"] = (
-                topo.n_clusters
-                * 2
-                * ReceiveNetModel(
-                    kind=kind, width_bits=cfg.flit_bits,
-                    cluster_size=topo.cluster_size,
-                ).area_mm2()
-            )
-            comp["photonics"] = OnetGeometry(
-                n_hubs=topo.n_clusters,
-                data_width_bits=cfg.flit_bits,
-                params=self.photonics,
-            ).photonics_area_mm2()
+        # Architecture-specific hardware (hubs, receive nets, photonics)
+        # is described by the network's registry descriptor.
+        descriptor = get_network(cfg.network)
+        if descriptor.area_components is not None:
+            comp.update(descriptor.area_components(self))
         return AreaBreakdown(components=comp)

@@ -15,9 +15,11 @@ runner, so a cold cache fans out across worker processes.
 from __future__ import annotations
 
 from repro.experiments.common import format_table, run_batch, spec_for
+from repro.network.registry import experiment_axis
 from repro.workloads.splash import APP_ORDER
 
-NETWORKS = ("atac+", "emesh-bcast", "emesh-pure")
+#: the Figure 4/7/8 architecture-comparison axis (registry-defined).
+NETWORKS = experiment_axis("runtime")
 
 
 def run_fig4(
@@ -88,8 +90,7 @@ def main() -> None:
     print("Figure 4: application runtime (cycles; *_norm = relative to ATAC+)")
     print(format_table(
         run_fig4(),
-        ["app", "atac+", "emesh-bcast", "emesh-pure",
-         "emesh-bcast_norm", "emesh-pure_norm"],
+        ["app", *NETWORKS, *(f"{net}_norm" for net in NETWORKS[1:])],
     ))
     print("\nFigure 5: traffic mix at the receiver (ATAC+)")
     print(format_table(run_fig5(), ["app", "unicast_pct", "broadcast_pct"]))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.energy.accounting import ALL_KEYS, EnergyModel
 from repro.experiments.common import format_table, make_config, run_batch, spec_for
+from repro.network.registry import experiment_axis, get_network
 from repro.tech.photonics import PhotonicParams
 from repro.tech.scenarios import (
     ALL_SCENARIOS,
@@ -30,8 +31,12 @@ from repro.tech.scenarios import (
 )
 from repro.workloads.splash import APP_ORDER
 
-#: architecture columns of Figures 7/8: the four ATAC+ flavors + meshes.
-MESHES = ("emesh-bcast", "emesh-pure")
+#: architecture columns of Figures 7/8: the four ATAC+ flavors + the
+#: electrical meshes of the runtime-comparison axis.
+RUNTIME_AXIS = experiment_axis("runtime")
+MESHES = tuple(n for n in RUNTIME_AXIS if not get_network(n).optical)
+#: the Figure 9 ATAC+-vs-mesh pair.
+EDP_AXIS = experiment_axis("edp")
 
 
 def _energy_model(network: str, mesh_width: int | None,
@@ -57,7 +62,7 @@ def run_fig7(
 ) -> dict[str, dict[str, float]]:
     """Average per-component energy by architecture, normalized to
     ATAC+(Ideal)'s total; keys follow Figure 7's wedges."""
-    results = _grid(apps, ("atac+",) + MESHES, mesh_width, scale, jobs)
+    results = _grid(apps, RUNTIME_AXIS, mesh_width, scale, jobs)
     totals: dict[str, dict[str, float]] = {}
     n = len(apps)
     atac_model = _energy_model("atac+", mesh_width)
@@ -94,7 +99,7 @@ def run_fig8(
     jobs: int | None = None,
 ) -> list[dict]:
     """Per-app EDP normalized to ATAC+(Ideal); plus the average row."""
-    results = _grid(apps, ("atac+",) + MESHES, mesh_width, scale, jobs)
+    results = _grid(apps, RUNTIME_AXIS, mesh_width, scale, jobs)
     atac_model = _energy_model("atac+", mesh_width)
     mesh_models = {net: _energy_model(net, mesh_width) for net in MESHES}
     rows = []
@@ -131,7 +136,7 @@ def run_fig9(
 
     Per app and averaged; ATAC+ (power-gated, athermal) under each loss.
     """
-    results = _grid(apps, ("atac+", "emesh-bcast"), mesh_width, scale, jobs)
+    results = _grid(apps, EDP_AXIS, mesh_width, scale, jobs)
     rows = []
     bcast_model = _energy_model("emesh-bcast", mesh_width)
     for app in apps:

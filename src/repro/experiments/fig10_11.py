@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.energy.area import AreaModel
 from repro.experiments.common import format_table, make_config, run_batch, spec_for
+from repro.network.registry import experiment_axis, get_network
 from repro.tech.photonics import OnetGeometry
 
 #: the four applications Figure 11 sweeps
@@ -23,13 +24,13 @@ FLIT_WIDTHS = (16, 32, 64, 128, 256)
 def run_fig10(mesh_width: int | None = None) -> dict[str, dict[str, float]]:
     """Area breakdowns (mm^2) for ATAC+ and the electrical mesh."""
     out = {}
-    for net in ("atac+", "emesh-bcast"):
+    for net in experiment_axis("edp"):
         config = make_config(net, 32 if mesh_width is None else mesh_width)
         breakdown = AreaModel(config).breakdown()
         d = dict(breakdown.components)
         d["total"] = breakdown.total_mm2
         d["cache_fraction"] = breakdown.cache_fraction
-        out["ATAC+" if net == "atac+" else "EMesh"] = d
+        out[get_network(net).display_name] = d
     return out
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.coherence.directory import Protocol
 from repro.energy.accounting import ALL_KEYS, EnergyModel
 from repro.experiments.common import format_table, make_config, run_batch, spec_for
+from repro.network.registry import experiment_axis, get_network
 from repro.workloads.splash import APP_ORDER
 
 #: Figure 14's six applications.
@@ -36,7 +37,7 @@ def run_fig14(
     ATAC+/ACKwise4 per app."""
     cells = [
         (net, proto)
-        for net in ("atac+", "emesh-bcast")
+        for net in experiment_axis("edp")
         for proto in (Protocol.ACKWISE, Protocol.DIRKB)
     ]
     keys = [(app, net, proto) for app in apps for net, proto in cells]
@@ -55,7 +56,7 @@ def run_fig14(
             edp = model.evaluate(results[app, net, proto]).edp()
             if ref is None:
                 ref = edp
-            label = ("ATAC+" if net == "atac+" else "EMesh-BCast") + (
+            label = get_network(net).display_name + (
                 "/ACKwise4" if proto is Protocol.ACKWISE else "/Dir4B"
             )
             row[label] = round(edp / ref, 3)

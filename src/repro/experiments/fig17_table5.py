@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from repro.energy.accounting import EnergyModel
 from repro.experiments.common import format_table, make_config, run_batch, spec_for
+from repro.network.registry import experiment_axis
 from repro.tech.core import CorePowerModel
 from repro.workloads.splash import APP_ORDER
 
 FIG17_APPS = ("radix", "fmm", "ocean_contig", "ocean_non_contig")
+#: the ATAC+-vs-mesh pair Figure 17 compares.
+FIG17_NETWORKS = experiment_axis("edp")
 
 
 def run_fig17(
@@ -27,7 +30,7 @@ def run_fig17(
     jobs: int | None = None,
 ) -> list[dict]:
     """Rows of (app, network, ndd_fraction) with core/cache/network J."""
-    keys = [(app, net) for app in apps for net in ("atac+", "emesh-bcast")]
+    keys = [(app, net) for app in apps for net in FIG17_NETWORKS]
     specs = [
         spec_for(app, network=net, mesh_width=mesh_width, scale=scale)
         for app, net in keys
@@ -37,7 +40,7 @@ def run_fig17(
     for ndd in ndd_fractions:
         core_model = CorePowerModel(ndd_fraction=ndd)
         for app in apps:
-            for net in ("atac+", "emesh-bcast"):
+            for net in FIG17_NETWORKS:
                 model = EnergyModel(
                     make_config(net, mesh_width), core_power=core_model
                 )

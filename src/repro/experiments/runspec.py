@@ -28,7 +28,8 @@ from dataclasses import asdict, dataclass, fields
 
 from repro import __version__
 from repro.coherence.directory import Protocol
-from repro.sim.config import NETWORK_CHOICES, SystemConfig
+from repro.network.registry import get_network
+from repro.sim.config import SystemConfig
 from repro.sim.results import RunResult
 from repro.workloads.synthetic import LoadSweepPoint
 
@@ -84,10 +85,7 @@ class RunSpec:
             raise KeyError(
                 f"unknown app {self.app!r}; choose from {sorted(APP_PROFILES)}"
             )
-        if self.network not in NETWORK_CHOICES:
-            raise ValueError(
-                f"network must be one of {NETWORK_CHOICES}, got {self.network!r}"
-            )
+        get_network(self.network)  # raises UnknownNetworkError
         if isinstance(self.protocol, str):
             object.__setattr__(self, "protocol", Protocol(self.protocol))
         if self.scale <= 0:

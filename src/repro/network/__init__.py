@@ -1,7 +1,8 @@
 """Event-driven on-chip network models.
 
-Implements the three networks the paper evaluates plus the original-ATAC
-components needed for the ablations:
+Implements the paper's three evaluated networks, the original-ATAC
+components needed for the ablations, and two further registered
+architectures that bracket the hybrid design:
 
 * :class:`repro.network.mesh.EMeshPure`   -- plain electrical mesh
   (broadcasts become N-1 serialized unicasts).
@@ -11,6 +12,15 @@ components needed for the ablations:
   electrical mesh + ONet adaptive-SWMR optical broadcast ring +
   per-cluster BNet or StarNet receive network, with cluster-based or
   distance-based unicast routing.
+* :class:`repro.network.corona.CoronaNetwork` -- all-optical MWSR
+  crossbar (receiver-owned channels, token arbitration).
+* :class:`repro.network.hermes.HermesNetwork` -- hierarchical two-level
+  optical broadcast over an electrical unicast mesh.
+
+Every architecture is bound to its energy/area models and experiment
+axes by a :class:`repro.network.registry.NetworkDescriptor`; the rest
+of the system resolves networks through :mod:`repro.network.registry`
+rather than dispatching on name strings.
 
 All networks share one timing methodology (packet-level wormhole
 approximation with per-port resource reservation, see
@@ -32,6 +42,18 @@ from repro.network.mesh import EMeshPure, EMeshBCast
 from repro.network.onet import AdaptiveSWMRLink, LaserMode
 from repro.network.cluster_nets import ReceiveNetwork
 from repro.network.atac import AtacNetwork
+from repro.network.corona import CoronaNetwork
+from repro.network.hermes import HermesNetwork, hermes_regions
+from repro.network.registry import (
+    NETWORK_CHOICES,
+    NetworkDescriptor,
+    UnknownNetworkError,
+    experiment_axis,
+    get_network,
+    network_names,
+    receive_net_kind,
+    register,
+)
 from repro.network.analytic import AnalyticModel
 from repro.network.queueing import AnalyticMesh
 
@@ -54,6 +76,17 @@ __all__ = [
     "LaserMode",
     "ReceiveNetwork",
     "AtacNetwork",
+    "CoronaNetwork",
+    "HermesNetwork",
+    "hermes_regions",
+    "NETWORK_CHOICES",
+    "NetworkDescriptor",
+    "UnknownNetworkError",
+    "experiment_axis",
+    "get_network",
+    "network_names",
+    "receive_net_kind",
+    "register",
     "AnalyticModel",
     "AnalyticMesh",
 ]

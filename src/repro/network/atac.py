@@ -143,14 +143,17 @@ class AtacNetwork(_MeshBase):
         return [(pkt.dst, arrival)]
 
     # ------------------------------------------------------------------
-    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+    def _deliver_clusters(
+        self,
+        src: int,
+        src_cluster: int,
+        at_hub: int,
+        hub_arrival: int,
+        n_flits: int,
+    ) -> list[tuple[int, int]]:
+        """Fan a broadcast out of the optical stage into every cluster's
+        receive network (shared by the ATAC-family broadcast paths)."""
         topo = self.topology
-        src = pkt.src
-        src_cluster = self._cluster_of_core[src]
-        at_hub = self._to_hub(src, pkt.time, n_flits)
-        _, hub_arrival = self.onet_links[src_cluster].transmit(
-            at_hub, n_flits, broadcast=True
-        )
         deliveries: list[tuple[int, int]] = []
         append = deliveries.append
         n_clusters = topo.n_clusters
@@ -167,6 +170,17 @@ class AtacNetwork(_MeshBase):
                 if core != src:
                     append((core, arrival))
         return deliveries
+
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        src = pkt.src
+        src_cluster = self._cluster_of_core[src]
+        at_hub = self._to_hub(src, pkt.time, n_flits)
+        _, hub_arrival = self.onet_links[src_cluster].transmit(
+            at_hub, n_flits, broadcast=True
+        )
+        return self._deliver_clusters(
+            src, src_cluster, at_hub, hub_arrival, n_flits
+        )
 
     # ------------------------------------------------------------------
     def onet_utilization(self, total_cycles: int) -> float:

@@ -1,0 +1,115 @@
+"""A Corona-style all-optical MWSR crossbar (Vantrease et al., ISCA'08).
+
+Corona inverts ATAC's channel ownership: ATAC's ONet is SWMR (each
+*sender* hub owns a wavelength channel that every other hub can tune
+into), whereas Corona's crossbar is **MWSR** -- each *receiver* hub owns
+a channel, and every hub that wants to talk to it modulates onto that
+channel.  Writers therefore contend at the destination's channel, which
+Corona arbitrates with an optical token; we model the token acquisition
+as a fixed ``token_delay`` before the channel reservation (the
+serialization itself falls out of the channel's ``free_at``, exactly
+the single-server semantics of :class:`AdaptiveSWMRLink`).
+
+Consequences relative to ATAC/ATAC+:
+
+* **every** inter-cluster unicast is optical (there is no distance
+  threshold -- the crossbar is the only inter-cluster path), so the
+  electrical mesh carries only intra-cluster traffic and the
+  core-to-hub hop;
+* broadcasts use one dedicated all-to-all broadcast channel (Corona's
+  power-guided broadcast ring) that all hubs arbitrate for, rather
+  than per-sender channels.
+
+The hub/receive-network stage is shared with ATAC: light terminates at
+the destination hub, crosses it, and fans out on the cluster's receive
+network.
+"""
+
+from __future__ import annotations
+
+from repro.network.atac import AtacNetwork
+from repro.network.cluster_nets import ReceiveNetTiming
+from repro.network.engine import MeshTiming
+from repro.network.onet import AdaptiveSWMRLink, OnetTiming
+from repro.network.routing import ClusterRouting
+from repro.network.topology import MeshTopology
+from repro.network.types import Packet
+
+
+class CoronaNetwork(AtacNetwork):
+    """All-optical MWSR crossbar with token-slot channel arbitration."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        flit_bits: int = 64,
+        receive_net: str = "starnet",
+        mesh_timing: MeshTiming | None = None,
+        onet_timing: OnetTiming | None = None,
+        receive_timing: ReceiveNetTiming | None = None,
+        starnets_per_cluster: int = 2,
+        hub_delay: int = 1,
+        token_delay: int = 2,
+    ) -> None:
+        # ClusterRouting sends every inter-cluster unicast optically --
+        # on this fabric that is not a policy choice but the topology.
+        super().__init__(
+            topology,
+            flit_bits,
+            routing=ClusterRouting(),
+            receive_net=receive_net,
+            mesh_timing=mesh_timing,
+            onet_timing=onet_timing,
+            receive_timing=receive_timing,
+            starnets_per_cluster=starnets_per_cluster,
+            hub_delay=hub_delay,
+        )
+        if token_delay < 0:
+            raise ValueError(
+                f"token_delay must be non-negative, got {token_delay}"
+            )
+        self.token_delay = token_delay
+        # The base class built one channel per hub; under MWSR semantics
+        # onet_links[c] is the channel *read by* cluster c (writers
+        # reserve it).  The broadcast ring is an extra shared channel
+        # appended so port accounting and Table-V utilization cover it.
+        self.broadcast_channel = AdaptiveSWMRLink(
+            0, topology.n_clusters, self._onet_timing, self.stats
+        )
+        self.onet_links.append(self.broadcast_channel)
+
+    @property
+    def name(self) -> str:
+        return "Corona"
+
+    # ------------------------------------------------------------------
+    def _send_unicast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        src_cluster = self._cluster_of_core[pkt.src]
+        dst_cluster = self._cluster_of_core[pkt.dst]
+        if src_cluster == dst_cluster:
+            arrival = self._traverse(pkt.src, pkt.dst, pkt.time, n_flits)
+            return [(pkt.dst, arrival)]
+        at_hub = self._to_hub(pkt.src, pkt.time, n_flits)
+        # MWSR: reserve the *destination's* channel; the token round
+        # precedes the reservation, queueing behind other writers is
+        # the channel's own serialization.
+        _, hub_arrival = self.onet_links[dst_cluster].transmit(
+            at_hub + self.token_delay, n_flits, broadcast=False
+        )
+        self.stats.hub_flit_traversals += n_flits
+        arrival = self.receive_nets[dst_cluster].deliver_unicast(
+            hub_arrival + self.hub_delay, n_flits, self._local_index[pkt.dst]
+        )
+        return [(pkt.dst, arrival)]
+
+    # ------------------------------------------------------------------
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        src = pkt.src
+        src_cluster = self._cluster_of_core[src]
+        at_hub = self._to_hub(src, pkt.time, n_flits)
+        _, hub_arrival = self.broadcast_channel.transmit(
+            at_hub + self.token_delay, n_flits, broadcast=True
+        )
+        return self._deliver_clusters(
+            src, src_cluster, at_hub, hub_arrival, n_flits
+        )

@@ -1,0 +1,162 @@
+"""A HERMES-style hierarchical optical broadcast network (Mohamed et al.).
+
+HERMES optimizes the broadcast path by splitting it into two optical
+levels instead of ATAC's single chip-wide SWMR ring:
+
+* **level 1** -- one global broadcast channel that every cluster hub can
+  write (arbitrated like any shared channel); all *region head* hubs
+  listen;
+* **level 2** -- per-region rebroadcast channels: each region's head hub
+  re-modulates the message for the other clusters of its region
+  (regions are ``region_width x region_width`` tiles of clusters;
+  single-cluster regions are fed directly from level 1);
+* the last hop is the standard cluster receive network, shared with
+  ATAC.
+
+Unicasts never touch the optics: HERMES keeps point-to-point traffic on
+the electrical mesh (the Distance-All routing extreme), spending its
+photonic budget exclusively on the broadcast tree.  That makes it the
+mirror image of Corona in this registry -- all-optical unicast crossbar
+vs. broadcast-only optical hierarchy -- which together bracket the
+paper's hybrid design.
+"""
+
+from __future__ import annotations
+
+from repro.network.atac import AtacNetwork
+from repro.network.cluster_nets import ReceiveNetTiming
+from repro.network.engine import MeshTiming
+from repro.network.onet import AdaptiveSWMRLink, OnetTiming
+from repro.network.routing import distance_all
+from repro.network.topology import MeshTopology
+from repro.network.types import Packet
+
+
+def hermes_regions(
+    topology: MeshTopology, region_width: int = 2
+) -> tuple[tuple[int, ...], ...]:
+    """Clusters grouped into ``region_width``-square tiles.
+
+    Returns a tuple of regions, each a tuple of cluster ids in row-major
+    order; the first cluster of each region is its head.  Edge regions
+    may be smaller when the cluster grid does not divide evenly.
+    """
+    if region_width < 1:
+        raise ValueError(f"region_width must be >= 1, got {region_width}")
+    per_edge = topology.width // topology.cluster_width
+    regions: list[tuple[int, ...]] = []
+    for ry in range(0, per_edge, region_width):
+        for rx in range(0, per_edge, region_width):
+            regions.append(tuple(
+                cy * per_edge + cx
+                for cy in range(ry, min(ry + region_width, per_edge))
+                for cx in range(rx, min(rx + region_width, per_edge))
+            ))
+    return tuple(regions)
+
+
+class HermesNetwork(AtacNetwork):
+    """Two-level optical broadcast hierarchy over an electrical mesh."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        flit_bits: int = 64,
+        receive_net: str = "starnet",
+        mesh_timing: MeshTiming | None = None,
+        onet_timing: OnetTiming | None = None,
+        receive_timing: ReceiveNetTiming | None = None,
+        starnets_per_cluster: int = 2,
+        hub_delay: int = 1,
+        region_width: int = 2,
+    ) -> None:
+        # Distance-All keeps every unicast on the ENet: the broadcast
+        # hierarchy is write-arbitrated, so point-to-point traffic on it
+        # would serialize chip-wide.
+        super().__init__(
+            topology,
+            flit_bits,
+            routing=distance_all(topology),
+            receive_net=receive_net,
+            mesh_timing=mesh_timing,
+            onet_timing=onet_timing,
+            receive_timing=receive_timing,
+            starnets_per_cluster=starnets_per_cluster,
+            hub_delay=hub_delay,
+        )
+        self.regions = hermes_regions(topology, region_width)
+        region_of = [0] * topology.n_clusters
+        for r, members in enumerate(self.regions):
+            for cluster in members:
+                region_of[cluster] = r
+        self._region_of_cluster = tuple(region_of)
+        self._head_of_region = tuple(m[0] for m in self.regions)
+        # Level 1: all hubs write, all region heads read.  The channel's
+        # reader count only feeds the receiver-energy counters.
+        self.global_channel = AdaptiveSWMRLink(
+            0, max(2, len(self.regions)), self._onet_timing, self.stats
+        )
+        # Level 2: the head rebroadcasts to the region's other clusters;
+        # single-cluster regions need no second level.
+        self.region_channels = tuple(
+            AdaptiveSWMRLink(0, len(m), self._onet_timing, self.stats)
+            if len(m) >= 2 else None
+            for m in self.regions
+        )
+        # Replace the per-hub SWMR links the base class built: HERMES's
+        # optical inventory is the hierarchy's channels, and this list
+        # is what port accounting and Table-V utilization walk.
+        self.onet_links = [self.global_channel] + [
+            c for c in self.region_channels if c is not None
+        ]
+
+    @property
+    def name(self) -> str:
+        return "HERMES"
+
+    # ------------------------------------------------------------------
+    # Unicasts are inherited unchanged: Distance-All routing keeps
+    # routing.use_onet() False for every pair, so AtacNetwork's unicast
+    # path reduces to a plain ENet traversal.
+    # ------------------------------------------------------------------
+
+    def _send_broadcast(self, pkt: Packet, n_flits: int) -> list[tuple[int, int]]:
+        topo = self.topology
+        src = pkt.src
+        src_cluster = self._cluster_of_core[src]
+        at_hub = self._to_hub(src, pkt.time, n_flits)
+        _, head_arrival = self.global_channel.transmit(
+            at_hub, n_flits, broadcast=True
+        )
+        head_ready = head_arrival + self.hub_delay
+        # Reserve each region's rebroadcast exactly once, up front, so
+        # per-cluster fan-out below reads a fixed schedule.
+        member_ready = []
+        for channel in self.region_channels:
+            if channel is None:
+                member_ready.append(head_ready)
+            else:
+                _, region_arrival = channel.transmit(
+                    head_ready, n_flits, broadcast=True
+                )
+                member_ready.append(region_arrival + self.hub_delay)
+        deliveries: list[tuple[int, int]] = []
+        append = deliveries.append
+        receive_nets = self.receive_nets
+        # Every cluster but the sender's crosses its receive-side hub.
+        self.stats.hub_flit_traversals += n_flits * (topo.n_clusters - 1)
+        for cluster in range(topo.n_clusters):
+            region = self._region_of_cluster[cluster]
+            if cluster == src_cluster:
+                # Fed directly from its own hub (as in ATAC, a sender's
+                # modulated light is not re-detected).
+                ready = at_hub
+            elif cluster == self._head_of_region[region]:
+                ready = head_ready
+            else:
+                ready = member_ready[region]
+            arrival = receive_nets[cluster].deliver_broadcast(ready, n_flits)
+            for core in topo.cluster_cores(cluster):
+                if core != src:
+                    append((core, arrival))
+        return deliveries

@@ -37,9 +37,14 @@ import time
 from pathlib import Path
 
 from repro.coherence.directory import Protocol
+from repro.network.registry import (
+    UnknownNetworkError,
+    get_network,
+    networks_for_fuzzing,
+)
 from repro.sanitizer import InvariantViolation
 from repro.sanitizer.faults import FAULTS, inject_fault
-from repro.sim.config import NETWORK_CHOICES, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.workloads.trace import BarrierOp, ComputeOp, CoreTrace, MemoryOp
 
 #: Ceiling on events per fuzz run: converts protocol livelocks into
@@ -56,29 +61,41 @@ DEFAULT_OUT_DIR = Path("benchmarks/fuzz")
 # case generation
 # ----------------------------------------------------------------------
 
-def generate_case(seed: int, fault: str | None = None) -> dict:
+def generate_case(
+    seed: int, fault: str | None = None,
+    networks: tuple[str, ...] | None = None,
+) -> dict:
     """A random, self-contained, JSON-serializable fuzz case.
 
-    Generation is fully determined by ``seed``.  Addresses are drawn
-    from a deliberately tiny pool so that sharing, invalidation
-    broadcasts and directory pressure happen even in ~20-op traces, and
-    every barrier id appears in every compute core's trace (anything
-    else deadlocks by construction).
+    Generation is fully determined by ``(seed, networks)``.  Addresses
+    are drawn from a deliberately tiny pool so that sharing,
+    invalidation broadcasts and directory pressure happen even in
+    ~20-op traces, and every barrier id appears in every compute core's
+    trace (anything else deadlocks by construction).  ``networks``
+    restricts the architecture pool (CI matrix rows fuzz one family at
+    a time); by default every network the registry says is instantiable
+    at the chosen mesh width is eligible.
     """
     import random
 
     rng = random.Random(seed)
     # favour the smallest machine: shrink throughput beats coverage.
-    # ATAC's optical layer needs >= 2 clusters, so the one-cluster w4
-    # machine only runs the electrical meshes.
+    # Optical layers need >= 2 clusters, so the one-cluster w4 machine
+    # only runs the electrical meshes (the registry's min_clusters).
     mesh_width = rng.choice((4, 4, 8, 8))
-    networks = NETWORK_CHOICES if mesh_width >= 8 else (
-        "emesh-bcast", "emesh-pure",
+    if networks is not None and not any(
+        n in networks_for_fuzzing(4) for n in networks
+    ):
+        # the requested networks all need clusters: w4 can't host any
+        mesh_width = 8
+    pool = tuple(
+        n for n in networks_for_fuzzing(mesh_width)
+        if networks is None or n in networks
     )
     case = {
         "seed": seed,
         "mesh_width": mesh_width,
-        "network": rng.choice(networks),
+        "network": rng.choice(pool),
         # a stale sharer pointer is architecturally legal under Dir_kB
         # (silent evictions), so that fault only fires on ACKwise
         "protocol": "ackwise" if fault == "stale-sharer"
@@ -401,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
              f"sanitizer to catch it; one of {', '.join(FAULTS)}",
     )
     parser.add_argument(
+        "--networks", default=None, metavar="N,M,...",
+        help="restrict cases to these registered networks (default: "
+             "every network instantiable at the case's mesh width)",
+    )
+    parser.add_argument(
         "--out-dir", type=Path, default=DEFAULT_OUT_DIR, metavar="DIR",
         help=f"where reproducers are written (default {DEFAULT_OUT_DIR})",
     )
@@ -423,6 +445,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.replay is not None:
         return replay(args.replay)
 
+    networks = None
+    if args.networks:
+        networks = tuple(args.networks.split(","))
+        try:
+            for name in networks:
+                get_network(name)
+        except UnknownNetworkError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
     base_seed = args.seed
     if args.seed_from_run_id:
         run_id = os.environ.get("GITHUB_RUN_ID")
@@ -436,6 +468,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.budget is not None:
         deadline = time.monotonic() + _parse_budget(args.budget)
     mode = f"inject={args.inject}" if args.inject else "differential"
+    if networks is not None:
+        mode += f", networks={','.join(networks)}"
     print(f"fuzz: base seed {base_seed}, mode {mode}", flush=True)
 
     tried = 0
@@ -448,7 +482,7 @@ def main(argv: list[str] | None = None) -> int:
             break
         seed = base_seed + index
         index += 1
-        case = generate_case(seed, fault=args.inject)
+        case = generate_case(seed, fault=args.inject, networks=networks)
         failure = check_case(case, args.inject)
         tried += 1
         if failure is None:

@@ -1,20 +1,23 @@
-"""Full-system configuration (paper Table I) and network factory."""
+"""Full-system configuration (paper Table I) and network factory.
+
+Network architectures are resolved through
+:mod:`repro.network.registry`: validation, the factory and the
+energy/area bindings all read one :class:`NetworkDescriptor` per
+network, so adding an architecture is a single registration there.
+"""
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.coherence.directory import Protocol
-from repro.network.atac import AtacNetwork
 from repro.network.engine import Network
-from repro.network.mesh import EMeshBCast, EMeshPure
-from repro.network.routing import ClusterRouting, DistanceRouting, RoutingPolicy
+from repro.network.registry import NETWORK_CHOICES, get_network
 from repro.network.topology import MeshTopology
 
-#: Architectures evaluated in the paper (Section V-A).
-NETWORK_CHOICES = ("atac+", "atac", "emesh-bcast", "emesh-pure")
+__all__ = ["NETWORK_CHOICES", "SystemConfig", "make_network"]
 
 
 @dataclass(frozen=True)
@@ -56,11 +59,8 @@ class SystemConfig:
     freq_hz: float = 1e9
 
     def __post_init__(self) -> None:
-        if self.network not in NETWORK_CHOICES:
-            raise ValueError(
-                f"network must be one of {NETWORK_CHOICES}, got {self.network!r}"
-            )
-        if self.receive_net not in ("starnet", "bnet"):
+        descriptor = get_network(self.network)  # raises UnknownNetworkError
+        if self.receive_net not in descriptor.valid_receive_nets:
             raise ValueError(f"bad receive_net {self.receive_net!r}")
         if self.flit_bits <= 0:
             raise ValueError("flit_bits must be positive")
@@ -111,25 +111,6 @@ class SystemConfig:
         )
 
 
-def make_routing(config: SystemConfig) -> RoutingPolicy:
-    """The unicast routing policy for a hybrid-network config."""
-    if config.network == "atac":
-        return ClusterRouting()
-    return DistanceRouting(config.rthres)
-
-
 def make_network(config: SystemConfig) -> Network:
     """Instantiate the configured network architecture."""
-    topo = config.topology
-    if config.network == "emesh-pure":
-        return EMeshPure(topo, flit_bits=config.flit_bits)
-    if config.network == "emesh-bcast":
-        return EMeshBCast(topo, flit_bits=config.flit_bits)
-    receive = "bnet" if config.network == "atac" else config.receive_net
-    return AtacNetwork(
-        topo,
-        flit_bits=config.flit_bits,
-        routing=make_routing(config),
-        receive_net=receive,
-        starnets_per_cluster=config.starnets_per_cluster,
-    )
+    return get_network(config.network).build(config)

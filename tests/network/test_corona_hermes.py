@@ -1,0 +1,181 @@
+"""Behavioral tests for the two extension architectures.
+
+Corona (all-optical MWSR crossbar) and HERMES (hierarchical optical
+broadcast) prove the registry's extensibility claim, so these tests pin
+the properties that make each architecture what it is: where traffic
+flows (electrical vs optical), who serializes with whom, and that both
+survive a sanitized end-to-end run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runspec import RunSpec
+from repro.network.corona import CoronaNetwork
+from repro.network.hermes import HermesNetwork, hermes_regions
+from repro.network.topology import MeshTopology
+from repro.network.types import BROADCAST, Packet
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(width=8, cluster_width=4)  # 4 clusters of 16
+
+
+def _pkt(src, dst, time=0, size_bits=64):
+    return Packet(src=src, dst=dst, size_bits=size_bits, time=time)
+
+
+class TestCorona:
+    def test_intra_cluster_unicast_stays_electrical(self, topo):
+        net = CoronaNetwork(topo)
+        src, dst = topo.cluster_cores(0)[0], topo.cluster_cores(0)[5]
+        net.send(_pkt(src, dst))
+        assert net.stats.onet_unicast_flits == 0
+        assert net.stats.hub_flit_traversals == 0
+        assert net.stats.router_flit_traversals > 0
+
+    def test_inter_cluster_unicast_goes_optical(self, topo):
+        net = CoronaNetwork(topo)
+        src = topo.cluster_cores(0)[0]
+        dst = topo.cluster_cores(3)[0]
+        [(core, arrival)] = net.send(_pkt(src, dst))
+        assert core == dst and arrival > 0
+        # there is no electrical inter-cluster path on this fabric
+        assert net.stats.onet_unicast_flits == 1
+        assert net.stats.receive_net_unicast_flits == 1
+
+    def test_token_delay_precedes_the_channel(self, topo):
+        fast = CoronaNetwork(topo, token_delay=0)
+        slow = CoronaNetwork(topo, token_delay=5)
+        src = topo.cluster_cores(0)[0]
+        dst = topo.cluster_cores(3)[0]
+        [(_, a_fast)] = fast.send(_pkt(src, dst))
+        [(_, a_slow)] = slow.send(_pkt(src, dst))
+        assert a_slow == a_fast + 5
+
+    def test_writers_serialize_at_the_destination_channel(self, topo):
+        net = CoronaNetwork(topo)
+        dst = topo.cluster_cores(3)[0]
+        # two writers from different clusters target cluster 3 at t=0:
+        # MWSR means they contend on the *destination's* channel
+        [(_, first)] = net.send(_pkt(topo.cluster_cores(0)[0], dst))
+        [(_, second)] = net.send(
+            _pkt(topo.cluster_cores(1)[0], topo.cluster_cores(3)[1])
+        )
+        solo = CoronaNetwork(topo)
+        [(_, unqueued)] = solo.send(
+            _pkt(topo.cluster_cores(1)[0], topo.cluster_cores(3)[1])
+        )
+        assert second > unqueued  # queued behind the first writer
+
+    def test_different_destinations_do_not_serialize(self, topo):
+        net = CoronaNetwork(topo)
+        [(_, a1)] = net.send(
+            _pkt(topo.cluster_cores(0)[0], topo.cluster_cores(2)[0])
+        )
+        [(_, a2)] = net.send(
+            _pkt(topo.cluster_cores(1)[0], topo.cluster_cores(3)[0])
+        )
+        solo = CoronaNetwork(topo)
+        [(_, unqueued)] = solo.send(
+            _pkt(topo.cluster_cores(1)[0], topo.cluster_cores(3)[0])
+        )
+        assert a2 == unqueued  # separate MWSR channels, no contention
+
+    def test_broadcast_covers_chip_via_broadcast_channel(self, topo):
+        net = CoronaNetwork(topo)
+        src = topo.cluster_cores(0)[0]
+        deliveries = net.send(_pkt(src, BROADCAST))
+        assert {c for c, _ in deliveries} == set(range(topo.n_cores)) - {src}
+        assert net.broadcast_channel.broadcast_cycles > 0
+        # unicast channels stayed dark
+        assert all(
+            link.broadcast_cycles == 0
+            for link in net.onet_links[: topo.n_clusters]
+        )
+
+    def test_broadcast_channel_in_port_inventory(self, topo):
+        net = CoronaNetwork(topo)
+        assert len(net.onet_links) == topo.n_clusters + 1
+        assert net.onet_links[-1] is net.broadcast_channel
+
+    def test_token_delay_validated(self, topo):
+        with pytest.raises(ValueError):
+            CoronaNetwork(topo, token_delay=-1)
+
+
+class TestHermes:
+    def test_regions_partition_the_clusters(self):
+        # 12x12 mesh, 4-wide clusters: a 3x3 cluster grid, so 2x2
+        # regioning leaves smaller edge regions including a singleton
+        topo = MeshTopology(width=12, cluster_width=4)
+        regions = hermes_regions(topo)
+        flat = [c for members in regions for c in members]
+        assert sorted(flat) == list(range(topo.n_clusters))
+        sizes = sorted(len(m) for m in regions)
+        assert sizes == [1, 2, 2, 4]
+
+    def test_single_cluster_region_has_no_rebroadcast_channel(self):
+        topo = MeshTopology(width=12, cluster_width=4)
+        net = HermesNetwork(topo)
+        singletons = [
+            r for r, members in enumerate(net.regions) if len(members) == 1
+        ]
+        assert singletons
+        for r in singletons:
+            assert net.region_channels[r] is None
+        # optical inventory: the global channel + one per multi-cluster
+        # region
+        multi = sum(1 for m in net.regions if len(m) >= 2)
+        assert len(net.onet_links) == 1 + multi
+        assert net.onet_links[0] is net.global_channel
+
+    def test_unicasts_never_touch_the_optics(self, topo):
+        net = HermesNetwork(topo)
+        src = topo.cluster_cores(0)[0]
+        for t, dst in enumerate(
+            (topo.cluster_cores(3)[0], topo.cluster_cores(1)[7])
+        ):
+            net.send(_pkt(src, dst, time=t))
+        assert net.stats.onet_unicast_flits == 0
+        assert net.stats.hub_flit_traversals == 0
+        assert net.stats.router_flit_traversals > 0
+
+    def test_broadcast_covers_chip_through_the_hierarchy(self, topo):
+        net = HermesNetwork(topo)
+        src = topo.cluster_cores(2)[4]
+        deliveries = net.send(_pkt(src, BROADCAST))
+        assert {c for c, _ in deliveries} == set(range(topo.n_cores)) - {src}
+        assert net.global_channel.broadcast_cycles > 0
+        # the second level re-broadcast fired on every multi-cluster
+        # region's channel
+        for channel in net.region_channels:
+            if channel is not None:
+                assert channel.broadcast_cycles > 0
+
+    def test_non_head_clusters_wait_for_the_rebroadcast(self, topo):
+        net = HermesNetwork(topo)
+        src = topo.cluster_cores(0)[0]
+        deliveries = dict(net.send(_pkt(src, BROADCAST)))
+        head = net._head_of_region[net._region_of_cluster[1]]
+        # pick a cluster that is neither the sender's nor a region head
+        member = next(
+            c for c in range(topo.n_clusters)
+            if c != 0 and c != net._head_of_region[net._region_of_cluster[c]]
+        )
+        head_arrival = deliveries[topo.cluster_cores(head)[1]]
+        member_arrival = deliveries[topo.cluster_cores(member)[1]]
+        assert member_arrival > head_arrival
+
+
+@pytest.mark.parametrize("network", ["corona", "hermes"])
+def test_sanitized_end_to_end_run(network):
+    spec = RunSpec(
+        app="barnes", network=network, mesh_width=8, scale=0.05,
+        sanitize=True,
+    )
+    result = spec.execute()
+    assert result.completion_cycles > 0
+    assert result.network in ("Corona", "HERMES")

@@ -1,0 +1,62 @@
+"""Grep-based lint: network-name dispatch lives only in the registry.
+
+The registry refactor's invariant is that ``src/repro`` never branches
+on network-name strings (``config.network == "atac"``) or enumerates
+hard-coded network-name tuples (``("atac+", "emesh-bcast")``) anywhere
+outside ``repro/network/registry.py``.  Single-name literals remain
+fine -- ``spec_for(app, network="atac+")`` names a configuration value,
+it does not dispatch on one.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.network.registry import REGISTRY
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: the one module allowed to enumerate and dispatch on network names.
+ALLOWED = {SRC / "network" / "registry.py"}
+
+_NAMES = sorted(
+    {d.name for d in REGISTRY.values()}
+    | {d.display_name for d in REGISTRY.values()},
+    key=len,
+    reverse=True,  # longest first so "atac+" wins over "atac"
+)
+_NAME_ALT = "|".join(re.escape(name) for name in _NAMES)
+
+PATTERNS = (
+    # equality dispatch: config.network == "atac" / result.network != 'ATAC+'
+    re.compile(r"\.network\s*(?:==|!=)\s*['\"]"),
+    # membership dispatch: cfg.network in ("atac", "atac+")
+    re.compile(r"\.network\s+(?:not\s+)?in\s*[(\[{]"),
+    # hard-coded network-name tuples/lists: two adjacent quoted names
+    re.compile(
+        rf"['\"](?:{_NAME_ALT})['\"]\s*,\s*['\"](?:{_NAME_ALT})['\"]"
+    ),
+)
+
+
+def test_registry_is_the_only_network_name_dispatcher():
+    assert SRC.is_dir(), SRC
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            for pattern in PATTERNS:
+                if pattern.search(line):
+                    offenders.append(
+                        f"{path.relative_to(SRC)}:{lineno}: {line.strip()}"
+                    )
+                    break
+    assert not offenders, (
+        "network-name string dispatch outside repro/network/registry.py "
+        "(resolve through the registry instead):\n  "
+        + "\n  ".join(offenders)
+    )
