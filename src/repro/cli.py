@@ -14,6 +14,9 @@ Usage::
     python -m repro sweep --jobs 4       # (apps x networks) design sweep
     python -m repro bench --check        # perf-regression harness
     python -m repro fuzz --budget 120s   # differential invariant fuzzer
+    python -m repro run --apps radix --telemetry   # record windows + trace
+    python -m repro top latest           # windowed time-series table
+    python -m repro trace latest         # export Perfetto trace JSON
 
 ``--jobs`` bounds the runner's worker processes for every experiment
 (it exports ``REPRO_JOBS``, which the figure drivers honour); scale
@@ -21,7 +24,10 @@ flags map onto the same knobs as the benchmark suite's environment
 variables.  ``--sanitize`` (or ``REPRO_SANITIZE=1``) runs every
 simulation under :mod:`repro.sanitizer`, which raises a structured
 ``InvariantViolation`` on any cross-layer inconsistency (~2x cost;
-see DESIGN.md section 10).
+see DESIGN.md section 10).  ``--telemetry`` (or ``REPRO_TELEMETRY=1``)
+records windowed counter deltas and a bounded event trace per run (see
+DESIGN.md section 12); ``repro top`` / ``repro trace`` read them back.
+``-v`` / ``--quiet`` raise or silence :mod:`repro.log` stderr output.
 """
 
 from __future__ import annotations
@@ -130,7 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
              "~2-3x slower, raises InvariantViolation on any cross-layer "
              "inconsistency; equivalent to REPRO_SANITIZE=1",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record windowed metrics + an event trace per run "
+             "(repro.telemetry) under the telemetry root; inspect with "
+             "'repro top'/'repro trace'; equivalent to REPRO_TELEMETRY=1",
+    )
+    _add_verbosity_flags(parser)
     return parser
+
+
+def _add_verbosity_flags(parser: argparse.ArgumentParser) -> None:
+    """``-v``/``--quiet``, shared by the main parser and sub-tools."""
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="more repro.log stderr output (-v: debug)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress repro.log progress output (warnings still print)",
+    )
 
 
 def _sweep(args, networks_default: tuple[str, ...]) -> int:
@@ -150,6 +175,7 @@ def _sweep(args, networks_default: tuple[str, ...]) -> int:
             spec_for(
                 app, network=net, mesh_width=args.mesh_width,
                 scale=args.scale, seed=args.seed, sanitize=args.sanitize,
+                telemetry=args.telemetry,
             )
             for app in apps for net in networks
         ]
@@ -216,7 +242,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sanitizer.fuzz import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] in ("trace", "top"):
+        # telemetry inspection verbs: read recorded artifacts, never
+        # import the simulator.
+        from repro.telemetry.inspect import main as inspect_main
+
+        return inspect_main(argv)
     args = build_parser().parse_args(argv)
+    from repro.log import set_verbosity
+
+    set_verbosity(verbose=args.verbose, quiet=args.quiet)
     if args.mesh_width is not None:
         os.environ["REPRO_MESH_WIDTH"] = str(args.mesh_width)
     if args.scale is not None:
@@ -232,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
         # Exported so figure drivers (which build their own specs) and
         # pool workers inherit the setting, not just 'run'/'sweep'.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.telemetry:
+        # Same export rationale as --sanitize.
+        os.environ["REPRO_TELEMETRY"] = "1"
 
     if args.experiment in ("run", "sweep"):
         # imported lazily so `--help` stays fast
@@ -257,6 +295,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  sweep  (apps x networks design sweep through the runner)")
         print("  bench  (perf-regression harness; see 'bench --help')")
         print("  fuzz   (differential invariant fuzzer; see 'fuzz --help')")
+        print("  top    (windowed telemetry time series; see 'top --help')")
+        print("  trace  (export a recorded run as Perfetto JSON)")
         print("  all")
         print("\nregistered networks (--networks):")
         for descriptor in REGISTRY.values():

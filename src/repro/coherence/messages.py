@@ -94,6 +94,11 @@ class CoherenceMsg:
     #: WB_REP only: False when the demoted owner had already evicted the
     #: line (served from its writeback buffer) and keeps no shared copy.
     retained: bool = True
+    #: Telemetry-only transaction correlation id, stamped by
+    #: :class:`repro.telemetry.collector.TelemetryCollector` on the
+    #: request/reply pair of a miss transaction.  Never read by the
+    #: protocol; always ``None`` when telemetry is off.
+    txn: int | None = None
 
     def __post_init__(self) -> None:
         if self.address < 0:

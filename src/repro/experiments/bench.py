@@ -81,9 +81,10 @@ def measure_spec(spec, reps: int = 3) -> dict:
     events = 0
     cycles = 0
     for _ in range(reps):
-        # sanitize=False explicitly: a stray REPRO_SANITIZE=1 in the
-        # environment must not skew the perf baseline it checks against.
-        system = ManycoreSystem(config, sanitize=False)
+        # sanitize/telemetry off explicitly: a stray REPRO_SANITIZE=1 or
+        # REPRO_TELEMETRY=1 in the environment must not skew the perf
+        # baseline it checks against.
+        system = ManycoreSystem(config, sanitize=False, telemetry=False)
         t0 = time.perf_counter()
         traces = generate_traces(
             APP_PROFILES[spec.app],
@@ -107,6 +108,43 @@ def measure_spec(spec, reps: int = 3) -> dict:
         "events_per_sec": round(events / best_sim) if best_sim > 0 else 0,
         "completion_cycles": cycles,
     }
+
+
+def repo_root() -> Path | None:
+    """The enclosing git work tree's root, or ``None`` outside one."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    root = out.stdout.strip()
+    return Path(root) if out.returncode == 0 and root else None
+
+
+def write_record(record: dict, rev: str, bench_dir: Path,
+                 root_dir: Path | None) -> list[Path]:
+    """Persist ``record`` as ``BENCH_<rev>.json``; returns paths written.
+
+    Two copies: the append-only history under ``bench_dir``
+    (``benchmarks/perf/``) that ``--check`` compares against, and -- per
+    the repo's perf-trajectory convention -- a top-level copy at
+    ``root_dir`` so the latest numbers for a revision sit next to
+    ROADMAP.md.  ``root_dir`` of ``None`` (not in a git work tree)
+    skips the top-level copy.
+    """
+    blob = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    written = []
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    out = bench_dir / f"BENCH_{rev}.json"
+    out.write_text(blob)
+    written.append(out)
+    if root_dir is not None:
+        root_copy = Path(root_dir) / f"BENCH_{rev}.json"
+        root_copy.write_text(blob)
+        written.append(root_copy)
+    return written
 
 
 def current_rev() -> str:
@@ -234,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-write", action="store_true",
         help="measure and compare without writing a record",
     )
+    parser.add_argument(
+        "--root-dir", default=None, metavar="DIR",
+        help="where the top-level BENCH_<rev>.json copy goes (default: "
+             "the git work-tree root; 'none' disables the copy)",
+    )
     return parser
 
 
@@ -255,10 +298,14 @@ def main(argv: list[str] | None = None) -> int:
     record = make_record(rev, reps=args.reps, small=args.small)
 
     if not args.no_write:
-        bench_dir.mkdir(parents=True, exist_ok=True)
-        out = bench_dir / f"BENCH_{rev}.json"
-        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {out}")
+        if args.root_dir == "none":
+            root_dir = None
+        elif args.root_dir is not None:
+            root_dir = Path(args.root_dir)
+        else:
+            root_dir = repo_root()
+        for out in write_record(record, rev, bench_dir, root_dir):
+            print(f"wrote {out}")
 
     if baseline is None:
         print("no prior record from another revision; nothing to compare")

@@ -87,6 +87,7 @@ def spec_for(
     receive_net: str = "starnet",
     seed: int = 42,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> RunSpec:
     """Build a :class:`RunSpec`, resolving ``None`` size knobs from the
     environment at call time."""
@@ -102,6 +103,7 @@ def spec_for(
         receive_net=receive_net,
         seed=seed,
         sanitize=sanitize,
+        telemetry=telemetry,
     )
 
 

@@ -20,20 +20,23 @@ is exactly one writer per entry.  Trace generation is deterministic in
 the spec's seed, which makes parallel output byte-identical to serial
 output -- ``tests/experiments/test_runner.py`` locks this in.
 
-Progress and per-run timing stream to stderr::
+Progress and per-run timing stream to stderr through
+:mod:`repro.log` (suppress with ``--quiet`` / ``REPRO_LOG=warning``)::
 
-    [runner 3/8] barnes@atac+/w16 ... 12.4s
+    [repro.runner] 3/8 barnes@atac+/w16 elapsed_s=12.4
 """
 
 from __future__ import annotations
 
 import os
-import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.experiments.store import ResultStore, cache_enabled
+from repro.log import get_logger
+
+_logger = get_logger("runner")
 
 
 def default_jobs() -> int:
@@ -65,6 +68,26 @@ def _sanitize_requested(spec) -> bool:
     return bool(sanitize) or (
         os.environ.get("REPRO_SANITIZE", "0").lower() in ("1", "true", "on")
     )
+
+
+def _telemetry_requested(spec) -> bool:
+    """Whether executing ``spec`` would attach the telemetry collector.
+
+    Same cache rule as :func:`_sanitize_requested`: telemetry shares the
+    plain content hash (the simulation is byte-identical), so a cache
+    hit would skip producing the windows/trace artifacts the caller
+    asked for -- bypass on load, still save afterwards.
+    """
+    telemetry = getattr(spec, "telemetry", None)
+    if telemetry is None:
+        return False  # spec kind without telemetry (e.g. LoadPointSpec)
+    return bool(telemetry) or (
+        os.environ.get("REPRO_TELEMETRY", "0").lower() in ("1", "true", "on")
+    )
+
+
+def _bypass_cache_on_load(spec) -> bool:
+    return _sanitize_requested(spec) or _telemetry_requested(spec)
 
 
 @dataclass
@@ -142,7 +165,7 @@ class Runner:
         for h in order:
             cached = (
                 self.store.load(unique[h])
-                if use_cache and not _sanitize_requested(unique[h])
+                if use_cache and not _bypass_cache_on_load(unique[h])
                 else None
             )
             if cached is not None:
@@ -162,10 +185,10 @@ class Runner:
         report.elapsed_s = time.perf_counter() - t_start
         self.last_report = report
         if self.progress and report.total:
-            self._log(
-                f"[runner] {report.total} spec(s): {report.hits} cached, "
-                f"{report.misses} executed on {jobs} worker(s) "
-                f"in {report.elapsed_s:.1f}s"
+            _logger.info(
+                f"{report.total} spec(s): {report.hits} cached, "
+                f"{report.misses} executed on {jobs} worker(s)",
+                elapsed_s=report.elapsed_s,
             )
         return [results[spec.content_hash()] for spec in specs]
 
@@ -175,7 +198,7 @@ class Runner:
             spec = unique[h]
             result, elapsed = _timed_execute(spec)
             self._complete(spec, h, result, elapsed, results, report)
-            self._log(f"[runner {i}/{len(misses)}] {spec.label()} ... {elapsed:.1f}s")
+            self._log(f"{i}/{len(misses)} {spec.label()}", elapsed_s=elapsed)
 
     def _run_parallel(self, unique, misses, results, report, jobs) -> None:
         done_count = 0
@@ -191,8 +214,8 @@ class Runner:
                     self._complete(spec, h, result, elapsed, results, report)
                     done_count += 1
                     self._log(
-                        f"[runner {done_count}/{len(misses)}] "
-                        f"{spec.label()} ... {elapsed:.1f}s"
+                        f"{done_count}/{len(misses)} {spec.label()}",
+                        elapsed_s=elapsed,
                     )
 
     def _complete(self, spec, h, result, elapsed, results, report) -> None:
@@ -201,9 +224,9 @@ class Runner:
         if cache_enabled():
             self.store.save(spec, result, elapsed_s=elapsed)
 
-    def _log(self, line: str) -> None:
+    def _log(self, message: str, **fields) -> None:
         if self.progress:
-            print(line, file=sys.stderr, flush=True)
+            _logger.info(message, **fields)
 
 
 def run_specs(specs, jobs: int | None = None, progress: bool = True) -> list:

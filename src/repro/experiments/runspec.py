@@ -40,6 +40,13 @@ from repro.workloads.synthetic import LoadSweepPoint
 CACHE_SCHEMA_VERSION = 5
 
 
+def _env_telemetry() -> bool:
+    """``REPRO_TELEMETRY`` without importing the telemetry package."""
+    import os
+
+    return os.environ.get("REPRO_TELEMETRY", "0").lower() in ("1", "true", "on")
+
+
 def _digest(kind: str, payload: dict) -> str:
     """Deterministic content hash over (schema, package version, spec)."""
     doc = {
@@ -74,6 +81,12 @@ class RunSpec:
     #: content hash (the runner still bypasses the cache for it -- a
     #: cache hit would skip the checking the caller asked for).
     sanitize: bool = False
+    #: Collect windowed telemetry + an event trace (repro.telemetry)
+    #: into ``<telemetry root>/<content hash>/``.  Excluded from the
+    #: spec's identity for the same reason as ``sanitize``: telemetry
+    #: leaves the simulation byte-identical, and the runner bypasses
+    #: the cache on load so the artifacts actually get produced.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         # import here: workloads.splash imports nothing from experiments,
@@ -100,6 +113,7 @@ class RunSpec:
         d = asdict(self)
         d["protocol"] = self.protocol.value
         del d["sanitize"]  # not part of the run's identity (see field doc)
+        del d["telemetry"]  # likewise observational-only
         return d
 
     @classmethod
@@ -139,8 +153,24 @@ class RunSpec:
         from repro.sim.system import ManycoreSystem
         from repro.workloads.splash import APP_PROFILES, generate_traces
 
+        telemetry = False
+        if self.telemetry or _env_telemetry():
+            # Resolve the environment knob *here* rather than deferring
+            # to ManycoreSystem so env-requested telemetry still lands
+            # in the telemetry root (a bare default TelemetryConfig
+            # would stay in memory).
+            from repro.telemetry import telemetry_root
+            from repro.telemetry.collector import TelemetryConfig
+
+            telemetry = TelemetryConfig(
+                run_id=self.content_hash(),
+                label=self.label(),
+                out_dir=telemetry_root(),
+            )
         config = self.config()
-        system = ManycoreSystem(config, sanitize=self.sanitize or None)
+        system = ManycoreSystem(
+            config, sanitize=self.sanitize or None, telemetry=telemetry
+        )
         traces = generate_traces(
             APP_PROFILES[self.app],
             system.topology,

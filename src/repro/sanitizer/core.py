@@ -139,7 +139,19 @@ class Sanitizer:
             events=tuple(
                 describe_event(t, cb, a) for t, cb, a in self._ring
             ),
+            telemetry=self._telemetry_context(),
         )
+
+    def _telemetry_context(self) -> dict | None:
+        """The co-attached telemetry collector's window/trace tail, when
+        the run carries one (``--sanitize --telemetry``)."""
+        collector = getattr(self.system, "telemetry", None)
+        if collector is None:
+            return None
+        try:
+            return collector.violation_context()
+        except Exception:  # never mask the real violation
+            return None
 
     def record_event(self, time: int, callback, arg) -> None:
         self._ring.append((time, callback, None if arg is _NO_ARG else arg))
@@ -422,6 +434,7 @@ class Sanitizer:
                 events=tuple(
                     describe_event(t, cb, a) for t, cb, a in self._ring
                 ),
+                telemetry=self._telemetry_context(),
             ) from exc
         self.check_end_of_run(result)
         return result

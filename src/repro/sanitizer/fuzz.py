@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 
 from repro.coherence.directory import Protocol
+from repro.log import get_logger, set_verbosity
 from repro.network.registry import (
     UnknownNetworkError,
     get_network,
@@ -46,6 +47,8 @@ from repro.sanitizer import InvariantViolation
 from repro.sanitizer.faults import FAULTS, inject_fault
 from repro.sim.config import SystemConfig
 from repro.workloads.trace import BarrierOp, ComputeOp, CoreTrace, MemoryOp
+
+_logger = get_logger("fuzz")
 
 #: Ceiling on events per fuzz run: converts protocol livelocks into
 #: structured ``livelock`` violations instead of hanging the fuzzer.
@@ -330,7 +333,8 @@ def _simpler_ops(op: list) -> list[list]:
 # ----------------------------------------------------------------------
 
 def write_reproducer(path: Path, case: dict, failure: dict,
-                     original_ops: int, fault: str | None) -> None:
+                     original_ops: int, fault: str | None,
+                     timeline: dict | None = None) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     doc = {
         "schema": REPRO_SCHEMA,
@@ -342,7 +346,36 @@ def write_reproducer(path: Path, case: dict, failure: dict,
         "replay": f"python -m repro fuzz --replay {path}",
         "case": case,
     }
+    if timeline is not None:
+        doc["telemetry"] = timeline
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def capture_timeline(case: dict, fault: str | None) -> dict | None:
+    """The telemetry window/trace context around ``case``'s failure.
+
+    Re-runs the (already shrunk) case once more with the telemetry
+    collector attached -- in memory, short windows -- and harvests the
+    final counter windows plus the trace ring tail.  Every error path
+    degrades to ``None``: the reproducer is complete without it.
+    """
+    from repro.sim.system import ManycoreSystem
+    from repro.telemetry.collector import TelemetryConfig
+
+    try:
+        system = ManycoreSystem(
+            case_config(case), batch_broadcasts=True, sanitize=True,
+            telemetry=TelemetryConfig(window_cycles=64),
+        )
+        if fault is not None:
+            inject_fault(system, fault)
+        try:
+            system.run(case_traces(case), app="fuzz", max_events=MAX_EVENTS)
+        except Exception:  # noqa: BLE001 - the case fails by design
+            pass
+        return system.telemetry.violation_context()
+    except Exception:  # noqa: BLE001 - timeline capture is best-effort
+        return None
 
 
 def replay(path: Path) -> int:
@@ -431,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run a reproducer JSON; exit 0 iff it still fails "
              "the same way",
     )
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="more repro.log stderr output (-v: per-step shrink log)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress repro.log progress output (failures still print)",
+    )
     return parser
 
 
@@ -442,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
     convention: 0 = reproduced, 1 = not.
     """
     args = build_parser().parse_args(argv)
+    set_verbosity(verbose=args.verbose, quiet=args.quiet)
     if args.replay is not None:
         return replay(args.replay)
 
@@ -470,7 +512,7 @@ def main(argv: list[str] | None = None) -> int:
     mode = f"inject={args.inject}" if args.inject else "differential"
     if networks is not None:
         mode += f", networks={','.join(networks)}"
-    print(f"fuzz: base seed {base_seed}, mode {mode}", flush=True)
+    _logger.info(f"base seed {base_seed}, mode {mode}")
 
     tried = 0
     index = 0
@@ -488,20 +530,21 @@ def main(argv: list[str] | None = None) -> int:
         if failure is None:
             continue
         ops_before = total_ops(case)
-        print(
-            f"fuzz: seed {seed} FAILED ({_describe_failure(failure)}); "
-            f"shrinking from {ops_before} ops ...",
-            flush=True,
+        _logger.warning(
+            f"seed {seed} FAILED ({_describe_failure(failure)}); "
+            f"shrinking from {ops_before} ops",
         )
         shrunk = shrink_case(
             case, failure, args.inject,
-            log=lambda line: print(line, flush=True),
+            log=lambda line: _logger.debug(line.strip()),
         )
         # record the shrunk case's own failure (times and event context
         # shift as the trace shrinks; the invariant kind is preserved)
         failure = check_case(shrunk, args.inject) or failure
+        timeline = capture_timeline(shrunk, args.inject)
         out = args.out_dir / f"repro_{seed}.json"
-        write_reproducer(out, shrunk, failure, ops_before, args.inject)
+        write_reproducer(out, shrunk, failure, ops_before, args.inject,
+                         timeline=timeline)
         print(
             f"fuzz: shrunk to {total_ops(shrunk)} ops; reproducer: {out}\n"
             f"      replay with: python -m repro fuzz --replay {out}"

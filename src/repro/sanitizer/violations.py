@@ -49,6 +49,12 @@ class InvariantViolation(Exception):
     events:
         The most recent dispatched events, oldest first, already
         formatted as strings.
+    telemetry:
+        When the run also carried a telemetry collector
+        (:mod:`repro.telemetry`): the last counter windows and the
+        trace ring-buffer tail at the moment of the violation, as
+        returned by ``TelemetryCollector.violation_context``.  ``None``
+        when telemetry was off.
     """
 
     def __init__(
@@ -58,24 +64,35 @@ class InvariantViolation(Exception):
         time: int = 0,
         details: dict | None = None,
         events: tuple[str, ...] = (),
+        telemetry: dict | None = None,
     ) -> None:
         self.invariant = invariant
         self.time = time
         self.details = details or {}
         self.events = events
+        self.telemetry = telemetry
         lines = [f"[{invariant}] {message} (t={time})"]
         for key, value in self.details.items():
             lines.append(f"  {key}: {value}")
         if events:
             lines.append("  recent events:")
             lines.extend(f"    {e}" for e in events)
+        if telemetry is not None:
+            lines.append(
+                f"  telemetry: {len(telemetry.get('windows', []))} window(s), "
+                f"{len(telemetry.get('trace_tail', []))} trace event(s) "
+                "attached (see .telemetry)"
+            )
         super().__init__("\n".join(lines))
 
     def to_dict(self) -> dict:
         """JSON payload for fuzz reproducers and CI artifacts."""
-        return {
+        doc = {
             "invariant": self.invariant,
             "time": self.time,
             "details": self.details,
             "events": list(self.events),
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry
+        return doc

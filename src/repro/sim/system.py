@@ -55,10 +55,20 @@ class ManycoreSystem:
     ``None`` (the default) defers to the ``REPRO_SANITIZE`` environment
     variable; ``False`` is a hard off that perf-sensitive callers
     should pass explicitly.
+
+    ``telemetry`` attaches the observability collector
+    (:mod:`repro.telemetry`, DESIGN.md section 12): windowed counter
+    snapshots plus a bounded event trace, simulation byte-identical.
+    Accepts ``True``/``False``, a
+    :class:`~repro.telemetry.collector.TelemetryConfig` (to control the
+    window length and output directory), or ``None`` to defer to the
+    ``REPRO_TELEMETRY`` environment variable.  Like the sanitizer it
+    costs exactly nothing -- not even an import -- when off.
     """
 
     def __init__(self, config: SystemConfig, batch_broadcasts: bool = True,
-                 sanitize: bool | None = None) -> None:
+                 sanitize: bool | None = None,
+                 telemetry=None) -> None:
         self.config = config
         self.batch_broadcasts = batch_broadcasts
         self.topology = config.topology
@@ -143,6 +153,27 @@ class ManycoreSystem:
 
             self.sanitizer = Sanitizer(self)
             self.sanitizer.attach()
+
+        if telemetry is None:
+            telemetry = os.environ.get(
+                "REPRO_TELEMETRY", "0"
+            ).lower() in ("1", "true", "on")
+        self.telemetry = None
+        if telemetry:
+            # Imported only when enabled (same zero-cost-off contract as
+            # the sanitizer).  Attached *after* the sanitizer so the
+            # telemetry hooks wrap -- and observe -- the sanitized
+            # fabric rather than being audited by it.
+            from repro.telemetry.collector import (
+                TelemetryCollector, TelemetryConfig,
+            )
+
+            cfg = (
+                telemetry if isinstance(telemetry, TelemetryConfig)
+                else TelemetryConfig()
+            )
+            self.telemetry = TelemetryCollector(self, cfg)
+            self.telemetry.attach()
 
     # ------------------------------------------------------------------
     # Fabric interface used by the coherence controllers
@@ -271,6 +302,11 @@ class ManycoreSystem:
             )
             self.cores[core] = cm
             cm.start()
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Explicit notification (not a wrapper around run): the
+            # barrier manager and core models only exist from here on.
+            telemetry.on_run_start()
         self.eventq.run(max_events=max_events)
         not_done = [c for c, cm in self.cores.items() if not cm.done]
         if not_done:
@@ -278,7 +314,10 @@ class ManycoreSystem:
                 f"deadlock: {len(not_done)} cores never finished "
                 f"(e.g. core {not_done[0]}); event queue drained"
             )
-        return self._collect(app)
+        result = self._collect(app)
+        if telemetry is not None:
+            telemetry.on_run_end(result)
+        return result
 
     def _collect(self, app: str) -> RunResult:
         completion = max(cm.done_at for cm in self.cores.values())

@@ -105,12 +105,17 @@ class TestMainFlow:
     """End-to-end at smoke scale: record, then check against it."""
 
     def test_record_then_regression_check(self, tmp_path, capsys):
-        out = str(tmp_path)
+        out = str(tmp_path / "perf")
+        root = tmp_path / "root"
+        root.mkdir()
         assert bench.main(
-            ["--small", "--reps", "1", "--rev", "base", "--out-dir", out]
+            ["--small", "--reps", "1", "--rev", "base", "--out-dir", out,
+             "--root-dir", str(root)]
         ) == 0
-        record_path = tmp_path / "BENCH_base.json"
+        record_path = tmp_path / "perf" / "BENCH_base.json"
         assert record_path.exists()
+        # the perf-trajectory copy lands at the (here: fake) repo root
+        assert (root / "BENCH_base.json").read_text() == record_path.read_text()
         record = json.loads(record_path.read_text())
         assert record["rev"] == "base"
         assert record["small"] is True
@@ -124,9 +129,17 @@ class TestMainFlow:
         # near 1000x slower, so --check passes and compares vs "base".
         assert bench.main(
             ["--small", "--reps", "1", "--rev", "next", "--out-dir", out,
-             "--check", "--max-regression", "1000"]
+             "--check", "--max-regression", "1000", "--root-dir", "none"]
         ) == 0
+        assert not (root / "BENCH_next.json").exists()
         assert "vs rev base" in capsys.readouterr().out
+
+    def test_write_record_skips_root_copy_without_root(self, tmp_path):
+        record = _record("solo", "2026-01-01T00:00:00")
+        written = bench.write_record(
+            record, "solo", tmp_path / "perf", root_dir=None
+        )
+        assert written == [tmp_path / "perf" / "BENCH_solo.json"]
 
     def test_check_fails_on_regression(self, tmp_path, capsys):
         out = str(tmp_path)

@@ -9,6 +9,7 @@ import json
 
 from repro.sanitizer.fuzz import (
     _normalize,
+    capture_timeline,
     check_case,
     generate_case,
     replay,
@@ -81,3 +82,37 @@ def test_normalize_strips_partial_barriers():
 def test_generation_is_seed_deterministic():
     assert generate_case(777) == generate_case(777)
     assert generate_case(777) != generate_case(778)
+
+
+def test_capture_timeline_and_reproducer_attachment(tmp_path):
+    """A failing case's reproducer carries the telemetry timeline."""
+    case = handcrafted(_NOISY_OPS)
+    failure = check_case(case, "drop-ack")
+    assert failure is not None
+
+    timeline = capture_timeline(case, "drop-ack")
+    assert timeline is not None
+    assert timeline["windows"], "expected closed telemetry windows"
+    assert timeline["trace_tail"], "expected trace ring events"
+    assert timeline["window_cycles"] == 64  # short fuzz-capture windows
+
+    out = tmp_path / "repro_t.json"
+    write_reproducer(out, case, failure, total_ops(case), "drop-ack",
+                     timeline=timeline)
+    doc = json.loads(out.read_text())
+    assert doc["telemetry"]["windows"] == timeline["windows"]
+    # attachment does not perturb replayability
+    assert replay(out) == 0
+
+
+def test_reproducer_without_timeline_omits_key(tmp_path):
+    case = handcrafted({0: [["c", 1]]})
+    out = tmp_path / "repro_n.json"
+    write_reproducer(
+        out, case,
+        {"kind": "invariant",
+         "violation": {"invariant": "deadlock", "time": 0,
+                       "details": {}, "events": []}},
+        1, None,
+    )
+    assert "telemetry" not in json.loads(out.read_text())

@@ -1,0 +1,114 @@
+"""Telemetry schema pins.
+
+Two kinds of pin:
+
+* **version pins** -- the on-disk window/trace schema versions and the
+  exact field groups; adding a counter to ``NetworkStats`` or
+  ``CacheCounters`` automatically joins the window schema (the groups
+  are derived from the dataclasses), and this test makes that drift
+  explicit so the schema version is bumped deliberately;
+* **energy-coverage pins** -- every counter the energy layer prices
+  (``ns.<field>`` / ``cc.<field>`` reads in ``energy/accounting.py``
+  and ``network/registry.py``) must appear in the telemetry window
+  schema, so per-window energy attribution can never silently miss a
+  wedge of the chip budget.
+"""
+
+import re
+from pathlib import Path
+
+from repro.telemetry.trace import TRACE_KINDS, TRACE_SCHEMA_VERSION
+from repro.telemetry.windows import (
+    CACHE_FIELDS,
+    CORE_FIELDS,
+    DIR_FIELDS,
+    ENERGY_FIELDS,
+    MEM_FIELDS,
+    NET_FIELDS,
+    TELEMETRY_SCHEMA_VERSION,
+    WINDOW_SCHEMA,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestVersionPins:
+    def test_schema_versions(self):
+        # Bump deliberately when the window record / trace event layout
+        # changes; readers (`repro trace`/`repro top`, CI artifact
+        # tooling) key off these exact integers.
+        assert TELEMETRY_SCHEMA_VERSION == 1
+        assert TRACE_SCHEMA_VERSION == 1
+
+    def test_trace_kinds(self):
+        assert TRACE_KINDS == (
+            "pkt", "bcast", "txn_begin", "txn_end", "barrier", "laser",
+        )
+
+    def test_window_schema_groups(self):
+        assert set(WINDOW_SCHEMA) == {
+            "net", "caches", "directory", "memory", "cores", "energy",
+        }
+        assert WINDOW_SCHEMA["net"] == NET_FIELDS
+        assert WINDOW_SCHEMA["caches"] == CACHE_FIELDS
+        assert WINDOW_SCHEMA["directory"] == DIR_FIELDS
+        assert WINDOW_SCHEMA["memory"] == MEM_FIELDS
+        assert WINDOW_SCHEMA["cores"] == CORE_FIELDS
+        assert WINDOW_SCHEMA["energy"] == ENERGY_FIELDS
+
+    def test_net_fields_track_networkstats(self):
+        from dataclasses import fields
+
+        from repro.network.stats import NetworkStats
+
+        assert NET_FIELDS == tuple(f.name for f in fields(NetworkStats))
+
+    def test_cache_fields_track_cachecounters(self):
+        from dataclasses import fields
+
+        from repro.coherence.l2controller import CacheCounters
+
+        assert CACHE_FIELDS == tuple(f.name for f in fields(CacheCounters))
+
+
+def _attr_reads(source: str, receiver: str) -> set[str]:
+    """Every ``<receiver>.<field>`` attribute read in ``source``."""
+    return set(re.findall(rf"\b{receiver}\.(\w+)", source))
+
+
+class TestEnergyCoverage:
+    """Every energy-priced counter is visible in the window schema."""
+
+    def test_network_counters_priced_by_energy_layer_are_windowed(self):
+        source = (SRC / "energy" / "accounting.py").read_text()
+        source += (SRC / "network" / "registry.py").read_text()
+        priced = _attr_reads(source, "ns")
+        assert priced, "expected ns.<field> reads in the energy layer"
+        missing = priced - set(NET_FIELDS)
+        assert not missing, (
+            f"energy-priced NetworkStats counters missing from the "
+            f"telemetry window schema: {sorted(missing)}"
+        )
+
+    def test_cache_counters_priced_by_energy_layer_are_windowed(self):
+        source = (SRC / "energy" / "accounting.py").read_text()
+        priced = _attr_reads(source, "cc")
+        assert priced, "expected cc.<field> reads in the energy layer"
+        missing = priced - set(CACHE_FIELDS)
+        assert not missing, (
+            f"energy-priced CacheCounters counters missing from the "
+            f"telemetry window schema: {sorted(missing)}"
+        )
+
+    def test_result_level_counters_are_windowed(self):
+        source = (SRC / "energy" / "accounting.py").read_text()
+        dir_mem = {
+            name for name in _attr_reads(source, "result")
+            if name.startswith(("dir_", "mem_"))
+        }
+        assert dir_mem, "expected result.dir_*/mem_* reads in accounting"
+        missing = dir_mem - set(DIR_FIELDS) - set(MEM_FIELDS)
+        assert not missing, (
+            f"energy-priced result counters missing from the telemetry "
+            f"window schema: {sorted(missing)}"
+        )

@@ -1,0 +1,275 @@
+"""The telemetry collector against the live simulator.
+
+The expensive fixture runs one w8/scale0.3 application on **every**
+registered network with telemetry attached (module-scoped: six
+simulations total).  It backs three of this package's contracts:
+
+* byte-identity -- telemetry must not perturb the simulation;
+* counter completeness -- every ``NetworkStats`` field is exercised by
+  at least one registered network, so the windowed schema never carries
+  a counter no architecture can increment;
+* Perfetto export -- every network's trace converts to loadable
+  Chrome trace-event JSON.
+"""
+
+import json
+
+import pytest
+
+from repro.network.registry import REGISTRY
+from repro.sim.system import ManycoreSystem
+from repro.telemetry.collector import TelemetryCollector, TelemetryConfig
+from repro.telemetry.trace import TraceBuffer, to_perfetto
+from repro.telemetry.windows import NET_FIELDS
+from repro.workloads.splash import APP_PROFILES, generate_traces
+
+APP = "radix"
+MESH_WIDTH = 8
+SCALE = 0.3
+
+
+def _run(network: str, **system_kwargs):
+    from repro.experiments.common import spec_for
+
+    config = spec_for(APP, network=network, mesh_width=MESH_WIDTH).config()
+    system = ManycoreSystem(config, **system_kwargs)
+    traces = generate_traces(
+        APP_PROFILES[APP], system.topology,
+        l2_lines=config.l2_sets * config.l2_ways, scale=SCALE, seed=42,
+    )
+    return system, system.run(traces, app=APP)
+
+
+@pytest.fixture(scope="module")
+def telemetry_runs():
+    """network -> (system, result), telemetry attached, every network."""
+    return {
+        network: _run(network, telemetry=TelemetryConfig())
+        for network in REGISTRY
+    }
+
+
+class TestByteIdentity:
+    def test_result_identical_with_telemetry(self, telemetry_runs):
+        _, plain = _run("atac+")
+        _, instrumented = telemetry_runs["atac+"]
+        assert plain.to_dict() == instrumented.to_dict()
+
+    def test_result_identical_with_sanitizer_and_telemetry(self):
+        _, plain = _run("emesh-bcast")
+        _, both = _run("emesh-bcast", sanitize=True,
+                       telemetry=TelemetryConfig())
+        assert plain.to_dict() == both.to_dict()
+
+
+class TestCounterCompleteness:
+    def test_every_network_counter_incremented_somewhere(self, telemetry_runs):
+        """Union over all registered networks covers all of NetworkStats."""
+        never_hit = []
+        for name in NET_FIELDS:
+            if not any(
+                getattr(system.network.stats, name) > 0
+                for system, _ in telemetry_runs.values()
+            ):
+                never_hit.append(name)
+        assert not never_hit, (
+            f"NetworkStats fields no registered network increments at "
+            f"w{MESH_WIDTH}/scale{SCALE}: {never_hit}"
+        )
+
+    def test_window_deltas_sum_to_run_totals(self, telemetry_runs):
+        """Windows tile the run: per-counter deltas sum to the totals."""
+        system, _ = telemetry_runs["atac+"]
+        stats = system.network.stats
+        for name in NET_FIELDS:
+            summed = sum(
+                w["net"][name] for w in system.telemetry.windows
+            )
+            assert summed == getattr(stats, name), name
+
+
+class TestWindows:
+    def test_windows_are_contiguous_from_zero(self, telemetry_runs):
+        for network, (system, result) in telemetry_runs.items():
+            windows = system.telemetry.windows
+            assert windows, network
+            assert windows[0]["t0"] == 0
+            for prev, cur in zip(windows, windows[1:]):
+                assert cur["t0"] == prev["t1"], network
+            assert windows[-1]["t1"] >= result.completion_cycles, network
+
+    def test_window_energy_nonnegative_and_sums_to_run(self, telemetry_runs):
+        """Per-window energy is real attribution, not an approximation.
+
+        Dynamic (per-event) energy is linear in the counters, so window
+        sums match the full run exactly; static energy is linear in
+        cycles, and window spans can overshoot ``completion_cycles`` by
+        up to one window (the final heartbeat), hence the tolerance.
+        """
+        from repro.energy.accounting import EnergyModel
+
+        system, result = telemetry_runs["atac+"]
+        windows = system.telemetry.windows
+        for w in windows:
+            for key, value in w["energy"].items():
+                assert value >= 0, (key, w["t0"])
+        full = EnergyModel(system.config).evaluate(result)
+        summed = sum(w["energy"]["total_j"] for w in windows)
+        assert summed == pytest.approx(full.total_energy_j, rel=0.05)
+
+    def test_final_partial_window_is_closed(self, telemetry_runs):
+        system, result = telemetry_runs["atac+"]
+        last = system.telemetry.windows[-1]
+        # the run does not end on a window boundary in general; whatever
+        # happened after the last heartbeat must still be recorded
+        assert last["t1"] >= result.completion_cycles
+
+    def test_queue_depth_sampled(self, telemetry_runs):
+        system, _ = telemetry_runs["atac+"]
+        depths = [w["queue_depth"] for w in system.telemetry.windows]
+        assert any(d > 0 for d in depths)
+        assert depths[-1] == 0  # the run is over at the final close
+
+    def test_onet_busy_only_on_optical_networks(self, telemetry_runs):
+        for network, (system, _) in telemetry_runs.items():
+            has_links = getattr(system.network, "onet_links", None) is not None
+            windows = system.telemetry.windows
+            assert all(("onet_busy" in w) == has_links for w in windows), network
+
+
+class TestTrace:
+    def test_txn_begin_end_pair_up(self, telemetry_runs):
+        system, _ = telemetry_runs["atac+"]
+        begins = {}
+        ends = {}
+        for kind, ts, dur, name, ident, args in system.telemetry.trace.events():
+            if kind == "txn_begin":
+                begins[ident] = ts
+            elif kind == "txn_end":
+                ends[ident] = ts
+        assert begins, "expected coherence transactions"
+        # a clean run closes every miss transaction it opens (modulo
+        # events rotated out of the ring, which this small run avoids)
+        assert set(ends) == set(begins)
+        assert all(ends[i] >= begins[i] for i in begins)
+
+    def test_trace_ring_is_bounded(self):
+        buf = TraceBuffer(4)
+        for i in range(10):
+            buf.record("pkt", i, 1, f"pkt {i}")
+        assert buf.recorded == 10
+        assert buf.dropped == 6
+        events = buf.events()
+        assert len(events) == 4
+        assert [e[1] for e in events] == [6, 7, 8, 9]
+        assert len(buf.tail(2)) == 2
+
+    def test_perfetto_export_loads_for_every_network(self, telemetry_runs):
+        for network, (system, _) in telemetry_runs.items():
+            doc = to_perfetto(system.telemetry.trace.events(), label=network)
+            # survives a JSON round-trip (what ui.perfetto.dev ingests)
+            doc = json.loads(json.dumps(doc))
+            events = doc["traceEvents"]
+            assert events, network
+            phases = {e["ph"] for e in events}
+            assert "M" in phases and "X" in phases, network
+            for e in events:
+                if e["ph"] == "X":
+                    assert e["dur"] >= 1, network
+                if e["ph"] in ("b", "e"):
+                    assert e["cat"] == "txn" and "id" in e, network
+
+    def test_barrier_slices_recorded(self, telemetry_runs):
+        system, result = telemetry_runs["atac+"]
+        barriers = [
+            e for e in system.telemetry.trace.events() if e[0] == "barrier"
+        ]
+        assert len(barriers) == result.barriers_completed
+
+
+#: Core 0 reads line 64 and holds it across the barrier; core 1 then
+#: writes it, forcing an invalidation (and thus a droppable INV_ACK).
+_READ_THEN_REMOTE_WRITE = {
+    0: [["m", 64, 0], ["b", 0]],
+    1: [["b", 0], ["m", 64, 1]],
+}
+
+
+def _droppable_case():
+    from ..sanitizer.cases import handcrafted
+
+    return handcrafted(_READ_THEN_REMOTE_WRITE)
+
+
+class TestViolationContext:
+    def test_violation_carries_window_and_trace_tail(self):
+        from repro.sanitizer import InvariantViolation
+        from repro.sanitizer.faults import inject_fault
+        from repro.sanitizer.fuzz import case_config, case_traces
+
+        case = _droppable_case()
+        system = ManycoreSystem(
+            case_config(case), sanitize=True,
+            telemetry=TelemetryConfig(window_cycles=32),
+        )
+        inject_fault(system, "drop-ack")
+        with pytest.raises(InvariantViolation) as excinfo:
+            system.run(case_traces(case), app="fuzz", max_events=100_000)
+        violation = excinfo.value
+        assert violation.telemetry is not None
+        assert violation.telemetry["windows"], "expected closed windows"
+        assert violation.telemetry["trace_tail"]
+        assert "telemetry:" in str(violation)
+        assert "telemetry" in violation.to_dict()
+
+    def test_violation_without_telemetry_has_none(self):
+        from repro.sanitizer import InvariantViolation
+        from repro.sanitizer.faults import inject_fault
+        from repro.sanitizer.fuzz import case_config, case_traces
+
+        case = _droppable_case()
+        system = ManycoreSystem(case_config(case), sanitize=True)
+        inject_fault(system, "drop-ack")
+        with pytest.raises(InvariantViolation) as excinfo:
+            system.run(case_traces(case), app="fuzz", max_events=100_000)
+        assert excinfo.value.telemetry is None
+        assert "telemetry" not in excinfo.value.to_dict()
+
+
+class TestConfigKnobs:
+    def test_window_cycles_override(self):
+        system, result = _run(
+            "emesh-pure", telemetry=TelemetryConfig(window_cycles=250)
+        )
+        windows = system.telemetry.windows
+        assert windows[0]["t1"] - windows[0]["t0"] == 250
+        assert len(windows) >= result.completion_cycles // 250
+
+    def test_rejects_bad_window(self):
+        from repro.experiments.common import make_config
+
+        with pytest.raises(ValueError):
+            ManycoreSystem(
+                make_config(mesh_width=4, network="emesh-pure"),
+                telemetry=TelemetryConfig(window_cycles=0),
+            )
+
+    def test_env_knobs(self, monkeypatch):
+        from repro.telemetry.collector import default_trace_depth
+        from repro.telemetry.windows import default_window_cycles
+
+        monkeypatch.setenv("REPRO_TELEMETRY_WINDOW", "123")
+        monkeypatch.setenv("REPRO_TELEMETRY_TRACE_DEPTH", "456")
+        assert default_window_cycles() == 123
+        assert default_trace_depth() == 456
+        monkeypatch.setenv("REPRO_TELEMETRY_WINDOW", "0")
+        with pytest.raises(ValueError):
+            default_window_cycles()
+
+    def test_off_by_default_and_costless(self):
+        system, _ = _run("emesh-pure")
+        assert system.telemetry is None
+        collector_hooks = (
+            TelemetryCollector._send_msg, TelemetryCollector._net_send,
+        )
+        assert system.send_msg.__func__ not in collector_hooks
